@@ -1,0 +1,333 @@
+// Package bedom is a Go implementation of the algorithms of
+//
+//	"Distributed Domination on Graph Classes of Bounded Expansion"
+//	S.A. Amiri, P. Ossona de Mendez, R. Rabinovich, S. Siebertz (SPAA 2018)
+//
+// It provides constant-factor approximation algorithms for the (connected)
+// DISTANCE-r DOMINATING SET problem on graph classes of bounded expansion —
+// both as fast sequential algorithms and as distributed algorithms for the
+// LOCAL / CONGEST / CONGEST_BC models running on a built-in round-based
+// simulator — together with the substrates they rely on: generalized
+// colouring numbers (weak reachability orders), sparse r-neighborhood
+// covers, graph generators for bounded-expansion families, baselines
+// (classical greedy, order-greedy, the Lenzen et al. planar LOCAL algorithm)
+// and exact solvers / lower bounds for measuring approximation ratios.
+//
+// The package is a facade: the implementation lives in the internal/
+// packages (graph, gen, order, cover, domset, connect, dist, distalgo), and
+// this API wires them together along the paper's pipelines.
+//
+// # Quick start
+//
+//	g := bedom.Grid(32, 32)
+//	res, err := bedom.DominatingSet(g, 2)              // Theorem 5
+//	cds, err := bedom.ConnectedDominatingSet(g, 2)     // Corollary 13
+//	dres, err := bedom.DistributedDominatingSet(g, 2)  // Theorem 9 (CONGEST_BC)
+//
+// See the examples/ directory for complete programs.
+package bedom
+
+import (
+	"fmt"
+	"io"
+
+	"bedom/internal/connect"
+	"bedom/internal/cover"
+	"bedom/internal/dist"
+	"bedom/internal/distalgo"
+	"bedom/internal/domset"
+	"bedom/internal/gen"
+	"bedom/internal/graph"
+	"bedom/internal/order"
+)
+
+// Graph is an undirected simple graph with vertices 0..n-1.
+type Graph = graph.Graph
+
+// Order is a linear order on the vertex set witnessing small weak colouring
+// numbers; it drives every algorithm of the paper.
+type Order = order.Order
+
+// Model selects the distributed communication model.
+type Model = dist.Model
+
+// Communication models of the simulator (see the paper's §2).
+const (
+	// LOCAL allows unbounded messages.
+	LOCAL = dist.Local
+	// CONGEST allows per-edge messages of O(log n) bits.
+	CONGEST = dist.Congest
+	// CONGESTBC allows one O(log n)-bit broadcast per vertex per round; this
+	// is the model all of the paper's CONGEST-style results use.
+	CONGESTBC = dist.CongestBC
+)
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// FromEdges builds a graph from an edge list.
+func FromEdges(n int, edges [][2]int) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// ReadGraph parses a graph in the library's edge-list format.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteGraph writes a graph in the library's edge-list format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// Grid returns the rows×cols planar grid graph (a convenient bounded
+// expansion test instance).  The internal/gen package offers many more
+// families (trees, outerplanar, Apollonian, k-trees, geometric, Chung–Lu,
+// configuration model, ...).
+func Grid(rows, cols int) *Graph { return gen.Grid(rows, cols) }
+
+// BuildOrder computes a linear order intended to witness a small weak
+// 2r-colouring number (the sequential substitute for Theorem 2), using
+// degeneracy ordering plus distance-truncated transitive–fraternal
+// augmentations.
+func BuildOrder(g *Graph, r int) *Order { return order.ConstructDefault(g, r) }
+
+// WeakColouringNumber returns the measured wcol_s(G, L) = max_v
+// |WReach_s[G, L, v]| of an order, the constant that controls all
+// approximation factors of the paper.
+func WeakColouringNumber(g *Graph, o *Order, s int) int { return order.WColMeasure(g, o, s) }
+
+// SequentialResult is the outcome of a sequential dominating set
+// computation.
+type SequentialResult struct {
+	// R is the domination radius.
+	R int
+	// Set is the computed distance-r dominating set.
+	Set []int
+	// LowerBound is a certified lower bound on the optimum size.
+	LowerBound int
+	// Wcol2R is the measured weak 2r-colouring number of the order used; the
+	// paper's Theorem 5 guarantees |Set| ≤ Wcol2R · OPT.
+	Wcol2R int
+}
+
+// Ratio returns |Set| / LowerBound (0 if the lower bound is 0).
+func (r SequentialResult) Ratio() float64 {
+	if r.LowerBound == 0 {
+		return 0
+	}
+	return float64(len(r.Set)) / float64(r.LowerBound)
+}
+
+// DominatingSet computes a distance-r dominating set with the paper's
+// sequential c(r)-approximation (Theorem 5, Algorithm 1).
+func DominatingSet(g *Graph, r int) (SequentialResult, error) {
+	if r < 1 {
+		return SequentialResult{}, fmt.Errorf("bedom: radius must be ≥ 1, got %d", r)
+	}
+	o := order.ConstructDefault(g, r)
+	D := domset.AlgorithmOne(g, o, r)
+	lb := domset.ScatteredLowerBound(g, r, D)
+	return SequentialResult{
+		R:          r,
+		Set:        D,
+		LowerBound: lb,
+		Wcol2R:     order.WColMeasure(g, o, 2*r),
+	}, nil
+}
+
+// ConnectedDominatingSet computes a connected distance-r dominating set with
+// the sequential version of the paper's Theorem 10 pipeline (order for
+// 2r+1, Algorithm 1, weak-reachability closure of Corollary 13).  The input
+// graph must be connected.
+func ConnectedDominatingSet(g *Graph, r int) (SequentialResult, error) {
+	if r < 1 {
+		return SequentialResult{}, fmt.Errorf("bedom: radius must be ≥ 1, got %d", r)
+	}
+	if !g.IsConnected() {
+		return SequentialResult{}, fmt.Errorf("bedom: connected dominating sets require a connected graph")
+	}
+	o := order.ConstructDefault(g, 2*r+1)
+	D := domset.AlgorithmOne(g, o, r)
+	Dp := connect.Closure(g, o, D, r)
+	lb := domset.ScatteredLowerBound(g, r, D)
+	return SequentialResult{
+		R:          r,
+		Set:        Dp,
+		LowerBound: lb,
+		Wcol2R:     order.WColMeasure(g, o, 2*r+1),
+	}, nil
+}
+
+// IsDominatingSet reports whether D is a distance-r dominating set of g.
+func IsDominatingSet(g *Graph, D []int, r int) bool { return domset.Check(g, D, r) }
+
+// IsConnectedDominatingSet reports whether D is a connected distance-r
+// dominating set of g.
+func IsConnectedDominatingSet(g *Graph, D []int, r int) bool {
+	return connect.CheckConnected(g, D, r)
+}
+
+// GreedyDominatingSet is the classical ln(n)-approximation baseline.
+func GreedyDominatingSet(g *Graph, r int) []int { return domset.Greedy(g, r) }
+
+// CoverResult describes a sparse r-neighborhood cover (Theorem 4 / 8).
+type CoverResult struct {
+	// R is the covering radius: every closed r-neighborhood is contained in
+	// some cluster.
+	R int
+	// Clusters maps cluster centers to cluster vertex sets.
+	Clusters map[int][]int
+	// Degree is the maximum number of clusters containing a single vertex.
+	Degree int
+	// MaxRadius is the maximum cluster radius (at most 2r).
+	MaxRadius int
+}
+
+// NeighborhoodCover computes the sparse r-neighborhood cover of Theorem 4
+// from a weak-reachability order.
+func NeighborhoodCover(g *Graph, r int) (CoverResult, error) {
+	if r < 1 {
+		return CoverResult{}, fmt.Errorf("bedom: radius must be ≥ 1, got %d", r)
+	}
+	o := order.ConstructDefault(g, r)
+	c := cover.Build(g, o, r)
+	st := c.ComputeStats(g)
+	return CoverResult{R: r, Clusters: c.Clusters, Degree: st.Degree, MaxRadius: st.MaxRadius}, nil
+}
+
+// DistributedOptions tunes the simulator runs of the distributed API.
+type DistributedOptions struct {
+	// Model selects the communication model; the zero value CONGESTBC... is
+	// not the zero value, so use DefaultDistributedOptions or set explicitly.
+	Model Model
+	// Workers bounds the number of goroutines the simulator uses per round
+	// (0 = GOMAXPROCS).
+	Workers int
+	// MaxRounds aborts runaway algorithms (0 = generous default).
+	MaxRounds int
+	// RefinedOrder selects the refined distributed order computation (a
+	// relayed H-partition on the weak-reachability shortcut graph, closer to
+	// the full Theorem 3 pipeline) instead of the plain H-partition order for
+	// DistributedDominatingSet.  It costs more rounds — O(r·log n) instead of
+	// O(log n) — and typically yields smaller dominating sets.
+	RefinedOrder bool
+}
+
+// DefaultDistributedOptions returns the options used by the paper's
+// algorithms: the CONGEST_BC model.
+func DefaultDistributedOptions() DistributedOptions {
+	return DistributedOptions{Model: CONGESTBC}
+}
+
+func (o DistributedOptions) simOptions() dist.Options {
+	return dist.Options{Workers: o.Workers, MaxRounds: o.MaxRounds}
+}
+
+// DistributedResult is the outcome of a distributed computation together
+// with its communication cost.
+type DistributedResult struct {
+	// R is the domination radius.
+	R int
+	// Set is the computed (connected) distance-r dominating set.
+	Set []int
+	// DomSet is, for connected computations, the underlying plain
+	// distance-r dominating set; equal to Set otherwise.
+	DomSet []int
+	// Rounds is the total number of communication rounds across all phases.
+	Rounds int
+	// Messages is the total number of delivered messages.
+	Messages int64
+	// MaxMessageWords is the largest message in O(log n)-bit words.
+	MaxMessageWords int
+}
+
+// DistributedDominatingSet runs the paper's Theorem 9 pipeline (distributed
+// order computation, Algorithm 4, dominator election) on the simulator.
+func DistributedDominatingSet(g *Graph, r int, opts ...DistributedOptions) (DistributedResult, error) {
+	opt := pickOpts(opts)
+	run := distalgo.RunDomSet
+	if opt.RefinedOrder {
+		run = distalgo.RunDomSetRefined
+	}
+	res, err := run(g, r, opt.Model, opt.simOptions())
+	if err != nil {
+		return DistributedResult{}, err
+	}
+	return DistributedResult{
+		R:               r,
+		Set:             res.Set,
+		DomSet:          res.Set,
+		Rounds:          res.Stats.Rounds,
+		Messages:        res.Stats.Messages,
+		MaxMessageWords: res.Stats.MaxMessageWords,
+	}, nil
+}
+
+// DistributedConnectedDominatingSet runs the paper's Theorem 10 pipeline in
+// the CONGEST_BC model (or the model given in opts).
+func DistributedConnectedDominatingSet(g *Graph, r int, opts ...DistributedOptions) (DistributedResult, error) {
+	opt := pickOpts(opts)
+	res, err := distalgo.RunConnectedDomSet(g, r, opt.Model, opt.simOptions())
+	if err != nil {
+		return DistributedResult{}, err
+	}
+	return DistributedResult{
+		R:               r,
+		Set:             res.Set,
+		DomSet:          res.DomSet,
+		Rounds:          res.Stats.Rounds,
+		Messages:        res.Stats.Messages,
+		MaxMessageWords: res.Stats.MaxMessageWords,
+	}, nil
+}
+
+// LocalConnect turns a distance-r dominating set into a connected one using
+// the 3r+1-round LOCAL-model algorithm of Lemma 16 / Theorem 17.
+func LocalConnect(g *Graph, D []int, r int, opts ...DistributedOptions) (DistributedResult, error) {
+	opt := pickOpts(opts)
+	res, err := distalgo.RunLocalConnector(g, D, r, opt.simOptions())
+	if err != nil {
+		return DistributedResult{}, err
+	}
+	return DistributedResult{
+		R:               r,
+		Set:             res.Set,
+		DomSet:          append([]int(nil), D...),
+		Rounds:          res.Stats.Rounds,
+		Messages:        res.Stats.Messages,
+		MaxMessageWords: res.Stats.MaxMessageWords,
+	}, nil
+}
+
+// PlanarLocalConnectedDominatingSet runs the constant-round LOCAL pipeline
+// the paper highlights for planar graphs: the Lenzen–Pignolet–Wattenhofer
+// dominating set approximation followed by the LOCAL connector (Theorem 17,
+// connection factor ≤ 6 on planar graphs).
+func PlanarLocalConnectedDominatingSet(g *Graph, opts ...DistributedOptions) (DistributedResult, error) {
+	opt := pickOpts(opts)
+	mds, err := distalgo.RunLenzen(g, opt.simOptions())
+	if err != nil {
+		return DistributedResult{}, err
+	}
+	cds, err := distalgo.RunLocalConnector(g, mds.Set, 1, opt.simOptions())
+	if err != nil {
+		return DistributedResult{}, err
+	}
+	return DistributedResult{
+		R:               1,
+		Set:             cds.Set,
+		DomSet:          mds.Set,
+		Rounds:          mds.Stats.Rounds + cds.Stats.Rounds,
+		Messages:        mds.Stats.Messages + cds.Stats.Messages,
+		MaxMessageWords: maxInt(mds.Stats.MaxMessageWords, cds.Stats.MaxMessageWords),
+	}, nil
+}
+
+func pickOpts(opts []DistributedOptions) DistributedOptions {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return DefaultDistributedOptions()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,179 @@
+package bedom
+
+import (
+	"bytes"
+	"testing"
+
+	"bedom/internal/gen"
+)
+
+func TestPublicGraphConstruction(t *testing.T) {
+	g := NewGraph(4)
+	if g.N() != 4 {
+		t.Fatal("NewGraph")
+	}
+	fe, err := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil || fe.M() != 2 {
+		t.Fatalf("FromEdges: %v %v", fe, err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, fe); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil || back.M() != 2 {
+		t.Fatalf("ReadGraph: %v %v", back, err)
+	}
+	if Grid(4, 4).N() != 16 {
+		t.Fatal("Grid")
+	}
+}
+
+func TestDominatingSetAPI(t *testing.T) {
+	g := Grid(12, 12)
+	for _, r := range []int{1, 2} {
+		res, err := DominatingSet(g, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsDominatingSet(g, res.Set, r) {
+			t.Fatalf("r=%d: invalid dominating set", r)
+		}
+		if res.LowerBound == 0 || res.Ratio() < 1 {
+			t.Fatalf("r=%d: suspicious quality report %+v", r, res)
+		}
+		if res.Wcol2R < 1 {
+			t.Fatalf("r=%d: wcol missing", r)
+		}
+	}
+	if _, err := DominatingSet(g, 0); err == nil {
+		t.Fatal("radius 0 must be rejected")
+	}
+}
+
+func TestConnectedDominatingSetAPI(t *testing.T) {
+	g := gen.Apollonian(80, 3)
+	res, err := ConnectedDominatingSet(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnectedDominatingSet(g, res.Set, 1) {
+		t.Fatal("invalid connected dominating set")
+	}
+	if _, err := ConnectedDominatingSet(g, 0); err == nil {
+		t.Fatal("radius 0 must be rejected")
+	}
+	disc, _ := FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if _, err := ConnectedDominatingSet(disc, 1); err == nil {
+		t.Fatal("disconnected input must be rejected")
+	}
+}
+
+func TestGreedyAndCoverAPI(t *testing.T) {
+	g := Grid(10, 10)
+	D := GreedyDominatingSet(g, 1)
+	if !IsDominatingSet(g, D, 1) {
+		t.Fatal("greedy invalid")
+	}
+	cov, err := NeighborhoodCover(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.MaxRadius > 4 || cov.Degree < 1 || len(cov.Clusters) == 0 {
+		t.Fatalf("cover stats %+v", cov)
+	}
+	if _, err := NeighborhoodCover(g, 0); err == nil {
+		t.Fatal("radius 0 must be rejected")
+	}
+}
+
+func TestOrderAPI(t *testing.T) {
+	g := gen.Outerplanar(60, 5)
+	o := BuildOrder(g, 2)
+	if o.N() != g.N() {
+		t.Fatal("order size mismatch")
+	}
+	if WeakColouringNumber(g, o, 4) < 1 {
+		t.Fatal("wcol measure")
+	}
+}
+
+func TestDistributedAPI(t *testing.T) {
+	g := Grid(9, 9)
+	res, err := DistributedDominatingSet(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsDominatingSet(g, res.Set, 1) || res.Rounds == 0 || res.Messages == 0 {
+		t.Fatalf("distributed result %+v", res)
+	}
+	cres, err := DistributedConnectedDominatingSet(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnectedDominatingSet(g, cres.Set, 1) {
+		t.Fatal("distributed connected result invalid")
+	}
+	if len(cres.DomSet) > len(cres.Set) {
+		t.Fatal("connected set smaller than its dominating set")
+	}
+	// Explicit options path.
+	res2, err := DistributedDominatingSet(g, 1, DistributedOptions{Model: CONGESTBC, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Set) != len(res.Set) {
+		t.Fatal("options changed the deterministic result")
+	}
+	// Refined-order pipeline: still valid, usually not larger.
+	res3, err := DistributedDominatingSet(g, 1, DistributedOptions{Model: CONGESTBC, RefinedOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsDominatingSet(g, res3.Set, 1) {
+		t.Fatal("refined-order distributed result invalid")
+	}
+	if res3.Rounds <= res.Rounds {
+		t.Log("refined pipeline unexpectedly used fewer rounds (not an error)")
+	}
+}
+
+func TestLocalConnectAndPlanarPipelineAPI(t *testing.T) {
+	g := Grid(10, 10)
+	seq, err := DominatingSet(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := LocalConnect(g, seq.Set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnectedDominatingSet(g, lc.Set, 2) {
+		t.Fatal("LocalConnect output invalid")
+	}
+	if lc.Rounds > 3*2+2 {
+		t.Fatalf("LocalConnect used %d rounds", lc.Rounds)
+	}
+	pp, err := PlanarLocalConnectedDominatingSet(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnectedDominatingSet(g, pp.Set, 1) {
+		t.Fatal("planar pipeline output invalid")
+	}
+	if float64(len(pp.Set)) > 6*float64(len(pp.DomSet))+1 {
+		t.Fatalf("planar connection factor too large: %d vs %d", len(pp.Set), len(pp.DomSet))
+	}
+	if _, err := LocalConnect(g, seq.Set, 0); err == nil {
+		t.Fatal("radius 0 must be rejected")
+	}
+}
+
+func TestModelNamesExposed(t *testing.T) {
+	if LOCAL.String() != "LOCAL" || CONGEST.String() != "CONGEST" || CONGESTBC.String() != "CONGEST_BC" {
+		t.Fatal("model constants not wired correctly")
+	}
+	if DefaultDistributedOptions().Model != CONGESTBC {
+		t.Fatal("default model should be CONGEST_BC")
+	}
+}

@@ -1,0 +1,209 @@
+// Benchmarks: one target per experiment E1–E8 of DESIGN.md (regenerating the
+// rows reported in EXPERIMENTS.md on a reduced workload so that
+// `go test -bench=.` finishes quickly), plus micro-benchmarks of the core
+// building blocks (order construction, weak reachability, Algorithm 1, the
+// greedy baseline and the distributed pipelines).
+package bedom
+
+import (
+	"testing"
+
+	"bedom/internal/connect"
+	"bedom/internal/dist"
+	"bedom/internal/distalgo"
+	"bedom/internal/domset"
+	"bedom/internal/exp"
+	"bedom/internal/gen"
+	"bedom/internal/graph"
+	"bedom/internal/order"
+)
+
+// benchConfig is the reduced experiment configuration used by the E*
+// benchmarks (the full tables in EXPERIMENTS.md are produced by
+// cmd/benchrun with exp.DefaultConfig).
+func benchConfig() exp.Config {
+	return exp.Config{
+		Seed:         1,
+		N:            600,
+		SmallN:       20,
+		ScalingSizes: []int{256, 1024},
+		Radii:        []int{1, 2},
+		Families:     []string{"grid", "apollonian", "geometric"},
+	}
+}
+
+func benchExperiment(b *testing.B, run func(exp.Config) *exp.Table) {
+	b.Helper()
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := run(cfg)
+		if len(tbl.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkE1SequentialApproximation(b *testing.B) {
+	benchExperiment(b, exp.E1SequentialApproximation)
+}
+
+func BenchmarkE2NeighborhoodCovers(b *testing.B) {
+	benchExperiment(b, exp.E2NeighborhoodCovers)
+}
+
+func BenchmarkE3DistributedRounds(b *testing.B) {
+	benchExperiment(b, exp.E3DistributedRounds)
+}
+
+func BenchmarkE4DistributedQuality(b *testing.B) {
+	benchExperiment(b, exp.E4DistributedQuality)
+}
+
+func BenchmarkE5ConnectedCongest(b *testing.B) {
+	benchExperiment(b, exp.E5ConnectedCongest)
+}
+
+func BenchmarkE6LocalConnector(b *testing.B) {
+	benchExperiment(b, exp.E6LocalConnector)
+}
+
+func BenchmarkE7PlanarLocalCDS(b *testing.B) {
+	benchExperiment(b, exp.E7PlanarLocalCDS)
+}
+
+func BenchmarkE8AugmentationAblation(b *testing.B) {
+	benchExperiment(b, exp.E8AugmentationAblation)
+}
+
+// --- Micro-benchmarks of the building blocks ------------------------------
+
+func benchGraph() *graph.Graph { return gen.Grid(64, 64) } // 4096 vertices
+
+func BenchmarkOrderConstruct(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = order.ConstructDefault(g, 2)
+	}
+}
+
+func BenchmarkWReachSets(b *testing.B) {
+	g := benchGraph()
+	o := order.ConstructDefault(g, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = order.WReachSets(g, o, 4)
+	}
+}
+
+func BenchmarkAlgorithmOneSequential(b *testing.B) {
+	g := benchGraph()
+	o := order.ConstructDefault(g, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		D := domset.AlgorithmOne(g, o, 2)
+		if len(D) == 0 {
+			b.Fatal("empty dominating set")
+		}
+	}
+}
+
+func BenchmarkGreedyBaseline(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		D := domset.Greedy(g, 2)
+		if len(D) == 0 {
+			b.Fatal("empty dominating set")
+		}
+	}
+}
+
+func BenchmarkSequentialPipelineByFamily(b *testing.B) {
+	for _, name := range []string{"grid", "apollonian", "geometric", "chunglu"} {
+		f, err := gen.FamilyByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, _ := gen.LargestComponent(f.Generate(2000, 1))
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := DominatingSet(g, 2)
+				if err != nil || len(res.Set) == 0 {
+					b.Fatal("pipeline failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDistributedDomSetCongestBC(b *testing.B) {
+	g := gen.Grid(40, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := distalgo.RunDomSet(g, 1, dist.CongestBC, dist.Options{})
+		if err != nil || len(res.Set) == 0 {
+			b.Fatal("distributed pipeline failed")
+		}
+	}
+}
+
+func BenchmarkDistributedConnectedCongestBC(b *testing.B) {
+	g := gen.Apollonian(900, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := distalgo.RunConnectedDomSet(g, 1, dist.CongestBC, dist.Options{})
+		if err != nil || len(res.Set) == 0 {
+			b.Fatal("distributed pipeline failed")
+		}
+	}
+}
+
+func BenchmarkLocalConnector(b *testing.B) {
+	g := gen.Grid(40, 40)
+	o := order.ConstructDefault(g, 1)
+	D := domset.AlgorithmOne(g, o, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := distalgo.RunLocalConnector(g, D, 1, dist.Options{})
+		if err != nil || !connect.CheckConnected(g, res.Set, 1) {
+			b.Fatal("LOCAL connector failed")
+		}
+	}
+}
+
+func BenchmarkLenzenPlanarMDS(b *testing.B) {
+	g := gen.Grid(40, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := distalgo.RunLenzen(g, dist.Options{})
+		if err != nil || len(res.Set) == 0 {
+			b.Fatal("Lenzen failed")
+		}
+	}
+}
+
+// BenchmarkSimulatorOverhead measures the raw cost of the round simulator on
+// a flooding workload, which helps interpret the distributed benchmarks.
+func BenchmarkSimulatorOverhead(b *testing.B) {
+	g := gen.Grid(50, 50)
+	o := order.Identity(g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := distalgo.RunWReachDist(g, o, 2, dist.CongestBC, dist.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

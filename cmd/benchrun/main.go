@@ -1,0 +1,68 @@
+// Command benchrun executes the experiment suite E1–E8 (see DESIGN.md §4)
+// and prints the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchrun                    # full suite, plain-text tables
+//	benchrun -quick             # reduced workload (seconds instead of minutes)
+//	benchrun -markdown          # markdown tables (used to update EXPERIMENTS.md)
+//	benchrun -exp E3,E7         # selected experiments only
+//	benchrun -n 4000 -seed 3    # override workload size / seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bedom/internal/exp"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "use a reduced workload")
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		only     = flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
+		n        = flag.Int("n", 0, "override the default graph size")
+		seed     = flag.Int64("seed", 0, "override the random seed")
+	)
+	flag.Parse()
+
+	cfg := exp.DefaultConfig()
+	if *quick {
+		cfg = exp.QuickConfig()
+	}
+	if *n > 0 {
+		cfg.N = *n
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range exp.All() {
+		if len(selected) > 0 && !selected[e.ID] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s — %s ...\n", e.ID, e.Title)
+		tbl := e.Run(cfg)
+		if *markdown {
+			fmt.Print(tbl.Markdown())
+		} else {
+			fmt.Println(tbl.Format())
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "benchrun: no experiments matched", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,42 @@
+// Planar LOCAL pipeline (Theorem 17): on planar graphs, combine the
+// constant-round dominating set approximation of Lenzen, Pignolet and
+// Wattenhofer with the paper's 3r+1-round LOCAL connector to obtain a
+// constant-factor *connected* dominating set in a constant number of rounds,
+// with a connection blow-up of at most 6 (planar depth-1 minors have edge
+// density < 3, and 2·r·3 = 6 for r = 1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bedom"
+	"bedom/internal/gen"
+)
+
+func main() {
+	families := []struct {
+		name string
+		g    func() *bedom.Graph
+	}{
+		{"grid 32x32", func() *bedom.Graph { return gen.Grid(32, 32) }},
+		{"random Apollonian network (planar 3-tree), n=1000", func() *bedom.Graph { return gen.Apollonian(1000, 7) }},
+		{"maximal outerplanar, n=800", func() *bedom.Graph { return gen.Outerplanar(800, 3) }},
+	}
+	for _, f := range families {
+		g := f.g()
+		res, err := bedom.PlanarLocalConnectedDominatingSet(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		factor := float64(len(res.Set)) / float64(len(res.DomSet))
+		fmt.Printf("%s (n=%d, m=%d)\n", f.name, g.N(), g.M())
+		fmt.Printf("  Lenzen et al. dominating set:   %4d vertices\n", len(res.DomSet))
+		fmt.Printf("  connected dominating set:       %4d vertices (factor %.2f, bound 6)\n",
+			len(res.Set), factor)
+		fmt.Printf("  rounds (constant in n):         %4d\n", res.Rounds)
+		fmt.Printf("  output verified: dominating=%v connected=%v\n\n",
+			bedom.IsDominatingSet(g, res.Set, 1),
+			bedom.IsConnectedDominatingSet(g, res.Set, 1))
+	}
+}

@@ -1,0 +1,53 @@
+// Quickstart: run the paper's sequential pipeline on a small planar grid —
+// build a weak-reachability order, compute a distance-r dominating set
+// (Theorem 5), a sparse r-neighborhood cover (Theorem 4) and a connected
+// distance-r dominating set (Corollary 13), and verify everything.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bedom"
+)
+
+func main() {
+	// A 20×20 grid: planar, hence in a class of bounded expansion.
+	g := bedom.Grid(20, 20)
+	r := 2
+
+	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
+
+	// The linear order behind everything: its measured weak colouring number
+	// is the constant c(r) of the paper.
+	o := bedom.BuildOrder(g, r)
+	fmt.Printf("order: wcol_%d(G, L) = %d\n", 2*r, bedom.WeakColouringNumber(g, o, 2*r))
+
+	// Distance-r dominating set (Theorem 5).
+	ds, err := bedom.DominatingSet(g, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distance-%d dominating set: %d vertices (lower bound %d, ratio ≤ %.2f), valid=%v\n",
+		r, len(ds.Set), ds.LowerBound, ds.Ratio(), bedom.IsDominatingSet(g, ds.Set, r))
+
+	// Sparse r-neighborhood cover (Theorem 4): radius ≤ 2r, constant degree.
+	cov, err := bedom.NeighborhoodCover(g, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("r-neighborhood cover: %d clusters, degree %d, max radius %d (bound %d)\n",
+		len(cov.Clusters), cov.Degree, cov.MaxRadius, 2*r)
+
+	// Connected distance-r dominating set (Corollary 13).
+	cds, err := bedom.ConnectedDominatingSet(g, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("connected distance-%d dominating set: %d vertices, valid=%v\n",
+		r, len(cds.Set), bedom.IsConnectedDominatingSet(g, cds.Set, r))
+
+	// The greedy baseline for comparison.
+	greedy := bedom.GreedyDominatingSet(g, r)
+	fmt.Printf("greedy baseline: %d vertices\n", len(greedy))
+}

@@ -1,0 +1,42 @@
+// Scaling study: measure how the number of communication rounds of the
+// CONGEST_BC pipeline (distributed order computation + Algorithm 4 +
+// dominator election, Theorems 3, 8 and 9) grows with the network size n and
+// the radius r.  The paper proves an O(r²·log n) bound; the measured rounds
+// grow logarithmically in n for fixed r and the maximum message size stays
+// constant in n.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"bedom"
+	"bedom/internal/gen"
+)
+
+func main() {
+	sizes := []int{256, 1024, 4096, 16384}
+	radii := []int{1, 2, 3}
+
+	fmt.Printf("%-8s %-4s %-8s %-8s %-14s %-14s %-10s\n",
+		"n", "r", "|D|", "rounds", "rounds/log2 n", "max msg words", "messages")
+	for _, r := range radii {
+		for _, n := range sizes {
+			side := int(math.Round(math.Sqrt(float64(n))))
+			g := gen.Grid(side, side)
+			res, err := bedom.DistributedDominatingSet(g, r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !bedom.IsDominatingSet(g, res.Set, r) {
+				log.Fatalf("invalid result for n=%d r=%d", n, r)
+			}
+			fmt.Printf("%-8d %-4d %-8d %-8d %-14.2f %-14d %-10d\n",
+				g.N(), r, len(res.Set), res.Rounds,
+				float64(res.Rounds)/math.Log2(float64(g.N())),
+				res.MaxMessageWords, res.Messages)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,184 @@
+// Package cover constructs and verifies sparse r-neighborhood covers from
+// weak-reachability orders, following Theorem 4 of the paper (Grohe,
+// Kreutzer, Siebertz): given an order L witnessing wcol_2r(G) ≤ c, the
+// collection X = {X_v : v ∈ V(G)} with
+//
+//	X_v = { w : v ∈ WReach_2r[G, L, w] }
+//
+// is an r-neighborhood cover of radius at most 2r and degree at most c.
+package cover
+
+import (
+	"fmt"
+	"sort"
+
+	"bedom/internal/graph"
+	"bedom/internal/order"
+)
+
+// Cover is an r-neighborhood cover of a graph.
+type Cover struct {
+	// R is the covering radius parameter: for every vertex v some cluster
+	// contains the full closed r-neighborhood N_r[v].
+	R int
+	// Clusters maps a center vertex to its cluster X_center.  Only non-empty
+	// clusters are present (every vertex has at least the singleton cluster
+	// containing itself, so len(Clusters) is typically n).
+	Clusters map[int][]int
+	// Home[w] is the center of a cluster that contains N_r[w] — following
+	// Lemma 6 it is min WReach_r[G, L, w].
+	Home []int
+	// memberships[w] lists the centers of clusters containing w.
+	memberships [][]int
+}
+
+// Build constructs the cover of Theorem 4 from the order o.
+func Build(g *graph.Graph, o *order.Order, r int) *Cover {
+	sets2r := order.WReachSets(g, o, 2*r)
+	setsR := order.WReachSets(g, o, r)
+	c := &Cover{
+		R:           r,
+		Clusters:    make(map[int][]int, g.N()),
+		Home:        make([]int, g.N()),
+		memberships: make([][]int, g.N()),
+	}
+	for w := 0; w < g.N(); w++ {
+		for _, v := range sets2r[w] {
+			c.Clusters[v] = append(c.Clusters[v], w)
+			c.memberships[w] = append(c.memberships[w], v)
+		}
+		c.Home[w] = setsR[w][0]
+	}
+	for v := range c.Clusters {
+		sort.Ints(c.Clusters[v])
+	}
+	return c
+}
+
+// Degree returns the degree of the cover: the maximum number of clusters any
+// single vertex belongs to.  Theorem 4 bounds it by wcol_2r(G, L).
+func (c *Cover) Degree() int {
+	max := 0
+	for _, m := range c.memberships {
+		if len(m) > max {
+			max = len(m)
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average number of clusters a vertex belongs to.
+func (c *Cover) AvgDegree() float64 {
+	if len(c.memberships) == 0 {
+		return 0
+	}
+	total := 0
+	for _, m := range c.memberships {
+		total += len(m)
+	}
+	return float64(total) / float64(len(c.memberships))
+}
+
+// Memberships returns the centers of the clusters containing w.
+func (c *Cover) Memberships(w int) []int { return c.memberships[w] }
+
+// NumClusters returns the number of (non-empty) clusters.
+func (c *Cover) NumClusters() int { return len(c.Clusters) }
+
+// Stats aggregates the quality measures of a cover that the experiments
+// report (experiment E2).
+type Stats struct {
+	R           int
+	NumClusters int
+	Degree      int
+	AvgDegree   float64
+	// MaxRadius is the maximum over clusters X of the eccentricity of the
+	// cluster center within G[X]; Theorem 4 bounds it by 2r.
+	MaxRadius int
+	// MaxClusterSize and AvgClusterSize describe cluster cardinalities.
+	MaxClusterSize int
+	AvgClusterSize float64
+}
+
+// ComputeStats measures the cover against g.
+func (c *Cover) ComputeStats(g *graph.Graph) Stats {
+	st := Stats{
+		R:           c.R,
+		NumClusters: c.NumClusters(),
+		Degree:      c.Degree(),
+		AvgDegree:   c.AvgDegree(),
+	}
+	totalSize := 0
+	for center, cluster := range c.Clusters {
+		totalSize += len(cluster)
+		if len(cluster) > st.MaxClusterSize {
+			st.MaxClusterSize = len(cluster)
+		}
+		if rad := clusterRadius(g, center, cluster); rad > st.MaxRadius {
+			st.MaxRadius = rad
+		}
+	}
+	if st.NumClusters > 0 {
+		st.AvgClusterSize = float64(totalSize) / float64(st.NumClusters)
+	}
+	return st
+}
+
+// clusterRadius returns the eccentricity of center within the subgraph of g
+// induced by cluster, which upper-bounds the radius of that subgraph.
+func clusterRadius(g *graph.Graph, center int, cluster []int) int {
+	sub, orig := g.InducedSubgraph(cluster)
+	local := -1
+	for i, v := range orig {
+		if v == center {
+			local = i
+			break
+		}
+	}
+	if local == -1 {
+		// Should not happen: the center always belongs to its own cluster.
+		return -1
+	}
+	return sub.Eccentricity(local)
+}
+
+// Verify checks the defining property of an r-neighborhood cover: for every
+// vertex w there is a cluster containing the full closed r-neighborhood
+// N_r[w].  Following Lemma 6, it checks the cluster of Home[w] and falls back
+// to scanning all clusters containing w.  It also re-checks that every
+// cluster induces a subgraph in which the center reaches all cluster members
+// within 2r steps.  Returns nil if the cover is valid.
+func (c *Cover) Verify(g *graph.Graph) error {
+	for w := 0; w < g.N(); w++ {
+		ball := g.Ball(w, c.R)
+		if !c.clusterContains(c.Home[w], ball) {
+			ok := false
+			for _, center := range c.memberships[w] {
+				if c.clusterContains(center, ball) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("cover: no cluster contains N_%d[%d]", c.R, w)
+			}
+		}
+	}
+	for center, cluster := range c.Clusters {
+		if rad := clusterRadius(g, center, cluster); rad < 0 || rad > 2*c.R {
+			return fmt.Errorf("cover: cluster of %d has radius %d > 2r=%d", center, rad, 2*c.R)
+		}
+	}
+	return nil
+}
+
+func (c *Cover) clusterContains(center int, verts []int) bool {
+	cluster := c.Clusters[center]
+	for _, v := range verts {
+		i := sort.SearchInts(cluster, v)
+		if i >= len(cluster) || cluster[i] != v {
+			return false
+		}
+	}
+	return true
+}

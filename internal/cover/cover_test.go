@@ -1,0 +1,154 @@
+package cover
+
+import (
+	"testing"
+
+	"bedom/internal/gen"
+	"bedom/internal/graph"
+	"bedom/internal/order"
+)
+
+func build(t *testing.T, g *graph.Graph, r int) (*Cover, *order.Order) {
+	t.Helper()
+	o := order.ConstructDefault(g, r)
+	c := Build(g, o, r)
+	if err := c.Verify(g); err != nil {
+		t.Fatalf("cover invalid: %v", err)
+	}
+	return c, o
+}
+
+func TestCoverOnPath(t *testing.T) {
+	g := gen.Path(20)
+	c, _ := build(t, g, 2)
+	st := c.ComputeStats(g)
+	if st.MaxRadius > 4 {
+		t.Fatalf("path cover radius %d > 2r", st.MaxRadius)
+	}
+	if st.Degree > 5 {
+		t.Fatalf("path cover degree %d, expected ≤ 2r+1", st.Degree)
+	}
+	if st.NumClusters == 0 || st.MaxClusterSize == 0 || st.AvgClusterSize <= 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+}
+
+func TestCoverRadiusAndDegreeBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", gen.Grid(10, 10)},
+		{"apollonian", gen.Apollonian(120, 3)},
+		{"outerplanar", gen.Outerplanar(120, 4)},
+		{"ktree3", gen.RandomKTree(120, 3, 5)},
+		{"tree", gen.RandomTree(120, 6)},
+	}
+	for _, tc := range cases {
+		for _, r := range []int{1, 2} {
+			c, o := build(t, tc.g, r)
+			st := c.ComputeStats(tc.g)
+			if st.MaxRadius > 2*r {
+				t.Errorf("%s r=%d: radius %d exceeds 2r", tc.name, r, st.MaxRadius)
+			}
+			wcol := order.WColMeasure(tc.g, o, 2*r)
+			if st.Degree != wcol {
+				// By construction the degree equals the measured wcol_2r.
+				t.Errorf("%s r=%d: degree %d != measured wcol %d", tc.name, r, st.Degree, wcol)
+			}
+			if st.AvgDegree > float64(st.Degree) || st.AvgDegree < 1 {
+				t.Errorf("%s r=%d: avg degree %f out of range", tc.name, r, st.AvgDegree)
+			}
+		}
+	}
+}
+
+func TestCoverHomeClusterContainsBall(t *testing.T) {
+	g := gen.Apollonian(80, 7)
+	r := 2
+	c, _ := build(t, g, r)
+	for w := 0; w < g.N(); w++ {
+		home := c.Home[w]
+		members := map[int]bool{}
+		for _, x := range c.Clusters[home] {
+			members[x] = true
+		}
+		for _, x := range g.Ball(w, r) {
+			if !members[x] {
+				t.Fatalf("ball of %d not inside home cluster %d", w, home)
+			}
+		}
+	}
+}
+
+func TestCoverMemberships(t *testing.T) {
+	g := gen.Grid(6, 6)
+	c, _ := build(t, g, 1)
+	for w := 0; w < g.N(); w++ {
+		for _, center := range c.Memberships(w) {
+			found := false
+			for _, x := range c.Clusters[center] {
+				if x == w {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("membership of %d in cluster %d not reflected", w, center)
+			}
+		}
+	}
+	if c.NumClusters() != len(c.Clusters) {
+		t.Fatal("NumClusters mismatch")
+	}
+}
+
+func TestCoverVerifyDetectsCorruption(t *testing.T) {
+	g := gen.Grid(5, 5)
+	o := order.ConstructDefault(g, 1)
+	c := Build(g, o, 1)
+	// Corrupt: remove a vertex from its home cluster.
+	w := 12
+	home := c.Home[w]
+	cluster := c.Clusters[home]
+	var trimmed []int
+	for _, x := range cluster {
+		if x != w {
+			trimmed = append(trimmed, x)
+		}
+	}
+	c.Clusters[home] = trimmed
+	// Also remove it from every other cluster so the fallback scan fails too.
+	for center, cl := range c.Clusters {
+		if center == home {
+			continue
+		}
+		var t2 []int
+		for _, x := range cl {
+			if x != w {
+				t2 = append(t2, x)
+			}
+		}
+		c.Clusters[center] = t2
+	}
+	if err := c.Verify(g); err == nil {
+		t.Fatal("corrupted cover passed verification")
+	}
+}
+
+func TestCoverSingleVertexAndDisconnected(t *testing.T) {
+	g := graph.New(1)
+	g.Finalize()
+	c := Build(g, order.Identity(1), 1)
+	if err := c.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	h := graph.MustFromEdges(6, [][2]int{{0, 1}, {2, 3}, {4, 5}})
+	ch := Build(h, order.ConstructDefault(h, 1), 1)
+	if err := ch.Verify(h); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Degree() < 1 {
+		t.Fatal("degree should be at least 1")
+	}
+}

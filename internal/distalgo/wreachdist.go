@@ -1,0 +1,194 @@
+package distalgo
+
+import (
+	"fmt"
+	"sort"
+
+	"bedom/internal/dist"
+	"bedom/internal/graph"
+	"bedom/internal/order"
+)
+
+// PathsMessage is the wire format of Algorithm 4: a set of paths, each path
+// a vertex sequence starting at the weakly reachable target and ending at
+// the broadcasting vertex.  Its size is the total number of vertex ids
+// carried.
+type PathsMessage [][]int
+
+// Words implements dist.Message.
+func (m PathsMessage) Words() int {
+	w := 0
+	for _, p := range m {
+		w += len(p)
+	}
+	return w
+}
+
+// wreachNode implements Algorithm 4 (WReachDist) of the paper.  Every vertex
+// w maintains, for each vertex u with sid(u) < sid(w) discovered so far, the
+// best known path from u to w (shortest, ties broken lexicographically by
+// super-ids).  In each round it broadcasts the paths it improved, extended by
+// itself, provided they are still short enough to be extended further.
+type wreachNode struct {
+	id      int
+	pos     []int // pos[v] = super-id (position in L) of vertex v
+	horizon int
+
+	// best[target] = best path from target to this vertex (target first,
+	// this vertex last).
+	best map[int][]int
+	// toSend accumulates paths adopted this round, to broadcast next round.
+	toSend    [][]int
+	roundsRun int
+}
+
+func (w *wreachNode) Init(ctx *dist.Context) {
+	w.best = map[int][]int{w.id: {w.id}}
+	// Round 0: broadcast the trivial path consisting of the own super-id.
+	ctx.Broadcast(PathsMessage{{w.id}})
+}
+
+func (w *wreachNode) Round(ctx *dist.Context, inbox []dist.Inbound) {
+	w.roundsRun++
+	adopted := make(map[int][]int)
+	for _, in := range inbox {
+		paths, ok := in.Msg.(PathsMessage)
+		if !ok {
+			continue
+		}
+		for _, p := range paths {
+			w.consider(p, adopted)
+		}
+	}
+	// Broadcast the adopted paths that can still grow (length < horizon).
+	var out PathsMessage
+	keys := make([]int, 0, len(adopted))
+	for t := range adopted {
+		keys = append(keys, t)
+	}
+	sort.Ints(keys)
+	for _, t := range keys {
+		p := adopted[t]
+		if len(p)-1 < w.horizon {
+			out = append(out, p)
+		}
+	}
+	if len(out) > 0 {
+		ctx.Broadcast(out)
+	}
+}
+
+// consider examines a received path (target … sender) and adopts its
+// extension by this vertex if it is an improvement.
+func (w *wreachNode) consider(p []int, adopted map[int][]int) {
+	if len(p) == 0 {
+		return
+	}
+	target := p[0]
+	// Keep only paths from strictly smaller vertices (line 8 of Algorithm 4).
+	if w.pos[target] >= w.pos[w.id] {
+		return
+	}
+	if len(p) >= w.horizon+1 {
+		// Extending would exceed the horizon.
+		return
+	}
+	// Avoid walks that revisit this vertex.
+	for _, x := range p {
+		if x == w.id {
+			return
+		}
+	}
+	cand := make([]int, len(p)+1)
+	copy(cand, p)
+	cand[len(p)] = w.id
+	cur, have := w.best[target]
+	if !have || w.pathBetter(cand, cur) {
+		w.best[target] = cand
+		adopted[target] = cand
+	}
+}
+
+// pathBetter reports whether a is strictly better than b: shorter, or of
+// equal length and lexicographically smaller with respect to super-ids.
+func (w *wreachNode) pathBetter(a, b []int) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if w.pos[a[i]] != w.pos[b[i]] {
+			return w.pos[a[i]] < w.pos[b[i]]
+		}
+	}
+	return false
+}
+
+func (w *wreachNode) Done() bool {
+	// After `horizon` exchange rounds every weakly reachable vertex within
+	// the horizon has been discovered; a couple of extra quiet rounds let the
+	// last adoptions settle before the runner detects global quiescence.
+	return w.roundsRun >= w.horizon
+}
+
+// WReachDistResult is the output of the distributed weak-reachability
+// computation.
+type WReachDistResult struct {
+	// Witnesses[w] lists, for each weakly reachable vertex (including w
+	// itself), the routing path stored at w, sorted by the super-id of the
+	// target (so entry 0 is the witness to min WReach).  The paths are
+	// oriented from w to the target, matching order.PathTo.
+	Witnesses [][]order.PathTo
+	// Stats is the simulator cost.
+	Stats dist.Stats
+}
+
+// RunWReachDist runs Algorithm 4 with the given order (super-ids) and
+// horizon (2r for covers/dominating sets, 2r+1 for the connected variant) in
+// the given model.  CONGEST_BC suffices: every vertex only broadcasts.
+func RunWReachDist(g *graph.Graph, o *order.Order, horizon int, model dist.Model, opts dist.Options) (*WReachDistResult, error) {
+	if horizon < 1 {
+		return nil, fmt.Errorf("distalgo: horizon must be ≥ 1, got %d", horizon)
+	}
+	pos := o.Positions()
+	nodes := make([]*wreachNode, g.N())
+	runner := dist.NewRunner(g, model, opts)
+	stats, err := runner.Run(func(v int) dist.Node {
+		nodes[v] = &wreachNode{id: v, pos: pos, horizon: horizon}
+		return nodes[v]
+	})
+	if err != nil {
+		return nil, fmt.Errorf("distalgo: WReachDist failed: %w", err)
+	}
+	res := &WReachDistResult{Witnesses: make([][]order.PathTo, g.N()), Stats: stats}
+	for v, nd := range nodes {
+		targets := make([]int, 0, len(nd.best))
+		for t := range nd.best {
+			targets = append(targets, t)
+		}
+		sort.Slice(targets, func(i, j int) bool { return pos[targets[i]] < pos[targets[j]] })
+		wits := make([]order.PathTo, 0, len(targets))
+		for _, t := range targets {
+			stored := nd.best[t]
+			// Stored paths run target → … → v; PathTo wants v → … → target.
+			rev := make([]int, len(stored))
+			for i, x := range stored {
+				rev[len(stored)-1-i] = x
+			}
+			wits = append(wits, order.PathTo{Target: t, Path: rev})
+		}
+		res.Witnesses[v] = wits
+	}
+	return res, nil
+}
+
+// MinTarget returns, for a witness list and radius r, the witness with the
+// L-least target among those with path length ≤ r (the dominator elected by
+// Theorem 9), relying on the list being sorted by target super-id.
+func MinTarget(wits []order.PathTo, r int) (order.PathTo, bool) {
+	for _, pt := range wits {
+		if len(pt.Path)-1 <= r {
+			return pt, true
+		}
+	}
+	return order.PathTo{}, false
+}

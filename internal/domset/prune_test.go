@@ -1,0 +1,88 @@
+package domset
+
+import (
+	"testing"
+
+	"bedom/internal/gen"
+	"bedom/internal/graph"
+	"bedom/internal/order"
+)
+
+func TestPruneKeepsDominationAndShrinks(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", gen.Grid(15, 15)},
+		{"apollonian", gen.Apollonian(200, 3)},
+		{"geometric", mustLC(gen.RandomGeometric(300, 0.1, 7))},
+		{"tree", gen.RandomTree(200, 9)},
+	}
+	for _, tc := range cases {
+		for _, r := range []int{1, 2} {
+			o := order.ConstructDefault(tc.g, r)
+			D := AlgorithmOne(tc.g, o, r)
+			P := Prune(tc.g, D, r, nil)
+			if !Check(tc.g, P, r) {
+				t.Fatalf("%s r=%d: pruned set does not dominate", tc.name, r)
+			}
+			if len(P) > len(D) {
+				t.Fatalf("%s r=%d: pruning grew the set", tc.name, r)
+			}
+			// Pruned set must be a subset of D.
+			inD := map[int]bool{}
+			for _, v := range D {
+				inD[v] = true
+			}
+			for _, v := range P {
+				if !inD[v] {
+					t.Fatalf("%s r=%d: pruned set contains new vertex %d", tc.name, r, v)
+				}
+			}
+			// Minimality: removing any single vertex breaks domination.
+			for _, v := range P {
+				var without []int
+				for _, u := range P {
+					if u != v {
+						without = append(without, u)
+					}
+				}
+				if Check(tc.g, without, r) {
+					t.Fatalf("%s r=%d: pruned set is not minimal (vertex %d redundant)", tc.name, r, v)
+				}
+			}
+		}
+	}
+}
+
+func mustLC(g *graph.Graph) *graph.Graph {
+	lc, _ := gen.LargestComponent(g)
+	return lc
+}
+
+func TestPruneEdgeCases(t *testing.T) {
+	if Prune(gen.Path(5), nil, 1, nil) != nil {
+		t.Fatal("pruning the empty set should return nil")
+	}
+	g := gen.Star(10)
+	// The full vertex set prunes down to a single dominator.
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	P := Prune(g, all, 1, nil)
+	if len(P) != 1 {
+		t.Fatalf("star pruned to %v", P)
+	}
+	// A custom try-order containing junk entries must be tolerated.
+	P2 := Prune(g, all, 1, []int{-4, 100, 3, 2, 1, 0, 9, 8, 7, 6, 5, 4})
+	if !Check(g, P2, 1) {
+		t.Fatal("pruning with a custom order broke domination")
+	}
+	// Pruning an already-minimal set is a no-op.
+	g2 := gen.Path(9)
+	minimal := []int{1, 4, 7}
+	if got := Prune(g2, minimal, 1, nil); len(got) != 3 {
+		t.Fatalf("minimal set changed: %v", got)
+	}
+}

@@ -1,0 +1,77 @@
+package graph
+
+// DegeneracyOrder computes a degeneracy ordering of g using the standard
+// linear-time bucket algorithm (Matula–Beck).  It returns the ordering as a
+// slice order (order[i] is the i-th vertex) and the degeneracy k of the
+// graph.
+//
+// The ordering has the property that every vertex has at most k neighbors
+// that appear *later* in the ordering.  The library's convention for linear
+// orders L (see internal/order) is that each vertex should have few neighbors
+// that are *smaller* with respect to L, therefore callers typically reverse
+// this ordering; order.FromDegeneracy takes care of that.
+func (g *Graph) DegeneracyOrder() (order []int, degeneracy int) {
+	n := g.n
+	if n == 0 {
+		return nil, 0
+	}
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = len(g.adj[v])
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Buckets of vertices by current degree.
+	bucket := make([][]int, maxDeg+1)
+	for v := 0; v < n; v++ {
+		bucket[deg[v]] = append(bucket[deg[v]], v)
+	}
+	removed := make([]bool, n)
+	order = make([]int, 0, n)
+	degeneracy = 0
+	cur := 0
+	for len(order) < n {
+		// Find the smallest non-empty bucket.  cur may have to move down
+		// because removing a vertex decreases neighbor degrees.
+		if cur > 0 {
+			cur--
+		}
+		for cur <= maxDeg && len(bucket[cur]) == 0 {
+			cur++
+		}
+		// Pop a vertex with minimum current degree (skip stale entries).
+		var v int
+		for {
+			b := bucket[cur]
+			v = b[len(b)-1]
+			bucket[cur] = b[:len(b)-1]
+			if !removed[v] && deg[v] == cur {
+				break
+			}
+			for cur <= maxDeg && len(bucket[cur]) == 0 {
+				cur++
+			}
+		}
+		removed[v] = true
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		order = append(order, v)
+		for _, w := range g.adj[v] {
+			u := int(w)
+			if !removed[u] {
+				deg[u]--
+				bucket[deg[u]] = append(bucket[deg[u]], u)
+			}
+		}
+	}
+	return order, degeneracy
+}
+
+// Degeneracy returns the degeneracy of g.
+func (g *Graph) Degeneracy() int {
+	_, k := g.DegeneracyOrder()
+	return k
+}

@@ -1,0 +1,310 @@
+// Package graph provides the undirected simple-graph substrate used by the
+// whole library: adjacency-list graphs, breadth-first searches, distance and
+// radius computations, connectivity, degeneracy orderings, bitsets and a
+// small edge-list I/O layer.
+//
+// Vertices are dense integer indices 0..n-1.  All graphs are finite,
+// undirected and simple, matching the preliminaries of the paper
+// (Amiri, Ossona de Mendez, Rabinovich, Siebertz — SPAA 2018, §2).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph stored as adjacency lists.
+//
+// The zero value is an empty graph with no vertices.  Use New or FromEdges to
+// construct graphs.  After construction, call Finalize (or use FromEdges,
+// which finalizes automatically) to sort adjacency lists; several methods
+// (HasEdge, Neighbors ordering guarantees) require a finalized graph.
+type Graph struct {
+	n         int
+	m         int
+	adj       [][]int32
+	finalized bool
+}
+
+// Common construction errors.
+var (
+	// ErrVertexRange is returned when a vertex index is outside [0, n).
+	ErrVertexRange = errors.New("graph: vertex index out of range")
+	// ErrSelfLoop is returned when an edge {v, v} is added.
+	ErrSelfLoop = errors.New("graph: self-loops are not allowed")
+)
+
+// New returns an empty graph on n vertices (and no edges).
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph.New: negative vertex count")
+	}
+	return &Graph{
+		n:   n,
+		adj: make([][]int32, n),
+	}
+}
+
+// FromEdges builds a finalized graph on n vertices from the given edge list.
+// Duplicate edges are silently dropped; self-loops cause an error.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	g := New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	g.Finalize()
+	return g, nil
+}
+
+// MustFromEdges is FromEdges but panics on error.  It is intended for tests
+// and examples with hand-written edge lists.
+func MustFromEdges(n int, edges [][2]int) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum vertex degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average degree 2m/n, or 0 for the empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.n)
+}
+
+// AddEdge inserts the undirected edge {u, v}.  Adding an existing edge is a
+// no-op.  Adding an edge invalidates a previous Finalize.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("%w: {%d,%d} with n=%d", ErrVertexRange, u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("%w: vertex %d", ErrSelfLoop, u)
+	}
+	if g.hasEdgeSlow(u, v) {
+		return nil
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	g.m++
+	g.finalized = false
+	return nil
+}
+
+// hasEdgeSlow performs a linear scan; used during construction when the
+// adjacency lists may not be sorted.  It scans the smaller list.
+func (g *Graph) hasEdgeSlow(u, v int) bool {
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a = g.adj[v]
+		u, v = v, u
+	}
+	if g.finalized {
+		i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+		return i < len(a) && a[i] == int32(v)
+	}
+	for _, w := range a {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Finalize sorts every adjacency list increasingly by vertex index.  It is
+// idempotent.  Finalized graphs support O(log deg) HasEdge queries and
+// guarantee that Neighbors returns vertices in increasing order.
+func (g *Graph) Finalize() {
+	if g.finalized {
+		return
+	}
+	for v := 0; v < g.n; v++ {
+		a := g.adj[v]
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	}
+	g.finalized = true
+}
+
+// Finalized reports whether Finalize has been called since the last mutation.
+func (g *Graph) Finalized() bool { return g.finalized }
+
+// HasEdge reports whether the edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	return g.hasEdgeSlow(u, v)
+}
+
+// Neighbors returns the adjacency list of v.  The returned slice is owned by
+// the graph and must not be modified.  On a finalized graph it is sorted
+// increasingly.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// NeighborsInts returns a fresh []int copy of the adjacency list of v.
+func (g *Graph) NeighborsInts(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	for i, w := range g.adj[v] {
+		out[i] = int(w)
+	}
+	return out
+}
+
+// Edges returns all edges as pairs {u, v} with u < v, sorted
+// lexicographically.
+func (g *Graph) Edges() [][2]int {
+	edges := make([][2]int, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.adj[u] {
+			v := int(w)
+			if u < v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	return edges
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{n: g.n, m: g.m, adj: make([][]int32, g.n), finalized: g.finalized}
+	for v := 0; v < g.n; v++ {
+		c.adj[v] = append([]int32(nil), g.adj[v]...)
+	}
+	return c
+}
+
+// InducedSubgraph returns the subgraph induced by the vertex set verts,
+// together with the mapping orig such that vertex i of the subgraph is
+// vertex orig[i] of g.  Duplicate vertices in verts are ignored.
+func (g *Graph) InducedSubgraph(verts []int) (sub *Graph, orig []int) {
+	idx := make(map[int]int, len(verts))
+	orig = make([]int, 0, len(verts))
+	for _, v := range verts {
+		if _, ok := idx[v]; ok {
+			continue
+		}
+		idx[v] = len(orig)
+		orig = append(orig, v)
+	}
+	sub = New(len(orig))
+	for i, v := range orig {
+		for _, w := range g.adj[v] {
+			if j, ok := idx[int(w)]; ok && i < j {
+				sub.adj[i] = append(sub.adj[i], int32(j))
+				sub.adj[j] = append(sub.adj[j], int32(i))
+				sub.m++
+			}
+		}
+	}
+	sub.Finalize()
+	return sub, orig
+}
+
+// ContractPartition contracts each part of the given partition to a single
+// vertex and returns the resulting simple minor (parallel edges collapsed,
+// loops dropped).  part[v] must give the part index of vertex v in
+// [0, nparts).  This implements the minor construction used by Lemma 15 of
+// the paper (contracting the balls B(v) of a D-partition).
+func (g *Graph) ContractPartition(part []int, nparts int) *Graph {
+	h := New(nparts)
+	seen := make(map[[2]int]struct{})
+	for u := 0; u < g.n; u++ {
+		pu := part[u]
+		for _, w := range g.adj[u] {
+			v := int(w)
+			if u >= v {
+				continue
+			}
+			pv := part[v]
+			if pu == pv {
+				continue
+			}
+			a, b := pu, pv
+			if a > b {
+				a, b = b, a
+			}
+			if _, ok := seen[[2]int{a, b}]; ok {
+				continue
+			}
+			seen[[2]int{a, b}] = struct{}{}
+			// Error cannot occur: indices are in range and a != b.
+			_ = h.AddEdge(a, b)
+		}
+	}
+	h.Finalize()
+	return h
+}
+
+// String returns a short human-readable summary, e.g. "Graph(n=10, m=15)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, m=%d)", g.n, g.m)
+}
+
+// Validate checks internal invariants (symmetry, no self-loops, no duplicate
+// entries, edge count consistency).  It is used by tests and the fuzzing /
+// property-based suites.
+func (g *Graph) Validate() error {
+	count := 0
+	for v := 0; v < g.n; v++ {
+		seen := make(map[int32]bool, len(g.adj[v]))
+		for _, w := range g.adj[v] {
+			if int(w) == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if w < 0 || int(w) >= g.n {
+				return fmt.Errorf("graph: neighbor %d of %d out of range", w, v)
+			}
+			if seen[w] {
+				return fmt.Errorf("graph: duplicate edge {%d,%d}", v, w)
+			}
+			seen[w] = true
+			found := false
+			for _, x := range g.adj[int(w)] {
+				if int(x) == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("graph: asymmetric edge {%d,%d}", v, w)
+			}
+			count++
+		}
+	}
+	if count != 2*g.m {
+		return fmt.Errorf("graph: edge count mismatch: m=%d but %d adjacency entries", g.m, count)
+	}
+	return nil
+}

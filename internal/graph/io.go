@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in a simple text format:
+//
+//	# comment lines start with '#'
+//	n m
+//	u v        (one edge per line, 0-based indices)
+//
+// The format is read back by ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a graph in the format produced by WriteEdgeList.
+// Blank lines and lines starting with '#' or '%' are ignored.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if g == nil {
+			if len(fields) < 1 {
+				return nil, fmt.Errorf("graph: line %d: expected header 'n [m]'", line)
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", line, fields[0])
+			}
+			g = New(n)
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected edge 'u v'", line)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	g.Finalize()
+	return g, nil
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := MustFromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round trip mismatch: %v vs %v", back, g)
+	}
+	for _, e := range g.Edges() {
+		if !back.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost in round trip", e)
+		}
+	}
+}
+
+func TestReadEdgeListCommentsAndBlankLines(t *testing.T) {
+	input := `# a comment
+% another comment
+
+5 3
+0 1
+
+1 2
+# trailing
+2 3
+`
+	g, err := ReadEdgeList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 3 {
+		t.Fatalf("parsed %v", g)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",               // empty
+		"abc",            // bad header
+		"-3",             // negative n
+		"3\n0",           // truncated edge
+		"3\n0 x",         // non-numeric endpoint
+		"3\n0 5",         // out of range
+		"3\n1 1",         // self loop
+		"# only comment", // no header at all
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestWriteEdgeListHeaderOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, New(3)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 0 {
+		t.Fatalf("got %v", g)
+	}
+}

@@ -1,0 +1,233 @@
+package order
+
+import (
+	"sort"
+
+	"bedom/internal/graph"
+)
+
+// Digraph is a directed graph with arc lengths, used for the distance-
+// truncated transitive–fraternal augmentations of Nešetřil and Ossona de
+// Mendez.  An arc v→u with length ℓ certifies that there is a path of length
+// ℓ in the original graph from v to u; arcs always point from larger to
+// smaller vertices with respect to the orientation's underlying intuition
+// ("point toward the vertices you may be weakly reaching").
+type Digraph struct {
+	n   int
+	out []map[int]int // out[v][u] = length of the arc v→u (minimum known)
+}
+
+// NewDigraph returns an arcless digraph on n vertices.
+func NewDigraph(n int) *Digraph {
+	d := &Digraph{n: n, out: make([]map[int]int, n)}
+	for i := range d.out {
+		d.out[i] = make(map[int]int)
+	}
+	return d
+}
+
+// N returns the number of vertices.
+func (d *Digraph) N() int { return d.n }
+
+// AddArc inserts the arc v→u with the given length, keeping the minimum
+// length if the arc already exists.  Self-arcs are ignored.
+func (d *Digraph) AddArc(v, u, length int) {
+	if v == u {
+		return
+	}
+	if old, ok := d.out[v][u]; !ok || length < old {
+		d.out[v][u] = length
+	}
+}
+
+// HasArc reports whether the arc v→u exists.
+func (d *Digraph) HasArc(v, u int) bool {
+	_, ok := d.out[v][u]
+	return ok
+}
+
+// OutDegree returns the out-degree of v.
+func (d *Digraph) OutDegree(v int) int { return len(d.out[v]) }
+
+// MaxOutDegree returns the maximum out-degree.
+func (d *Digraph) MaxOutDegree() int {
+	max := 0
+	for v := 0; v < d.n; v++ {
+		if len(d.out[v]) > max {
+			max = len(d.out[v])
+		}
+	}
+	return max
+}
+
+// Out returns the out-neighbors of v with arc lengths, sorted by vertex id
+// (deterministic iteration order).
+func (d *Digraph) Out(v int) []Arc {
+	arcs := make([]Arc, 0, len(d.out[v]))
+	for u, l := range d.out[v] {
+		arcs = append(arcs, Arc{To: u, Length: l})
+	}
+	sort.Slice(arcs, func(i, j int) bool { return arcs[i].To < arcs[j].To })
+	return arcs
+}
+
+// Arc is a directed arc endpoint with the length of the underlying path.
+type Arc struct {
+	To     int
+	Length int
+}
+
+// Underlying returns the underlying undirected graph of the digraph (arc
+// directions and lengths dropped, parallel arcs merged).
+func (d *Digraph) Underlying() *graph.Graph {
+	g := graph.New(d.n)
+	for v := 0; v < d.n; v++ {
+		for u := range d.out[v] {
+			if !g.HasEdge(v, u) {
+				// Ignore error: v != u and both are in range by construction.
+				_ = g.AddEdge(v, u)
+			}
+		}
+	}
+	g.Finalize()
+	return g
+}
+
+// OrientByOrder returns the orientation of g in which every edge points from
+// the larger endpoint to the smaller endpoint with respect to o.  With a
+// degeneracy-style order the maximum out-degree equals the back-degree of
+// the order.
+func OrientByOrder(g *graph.Graph, o *Order) *Digraph {
+	d := NewDigraph(g.N())
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		if o.Less(u, v) {
+			d.AddArc(v, u, 1)
+		} else {
+			d.AddArc(u, v, 1)
+		}
+	}
+	return d
+}
+
+// AugmentationResult captures one transitive–fraternal augmentation round.
+type AugmentationResult struct {
+	// TransitiveArcs is the number of new transitive arcs added.
+	TransitiveArcs int
+	// FraternalEdges is the number of new fraternal edges added (after
+	// orientation they become arcs).
+	FraternalEdges int
+	// MaxOutDegree is the maximum out-degree after the round.
+	MaxOutDegree int
+}
+
+// AugmentOnce performs one distance-truncated transitive–fraternal
+// augmentation round on d, adding
+//
+//   - a transitive arc x→z of length ℓ₁+ℓ₂ for every pair of arcs x→y (ℓ₁)
+//     and y→z (ℓ₂), and
+//   - a fraternal edge {x, z} of length ℓ₁+ℓ₂ for every pair of arcs y→x (ℓ₁)
+//     and y→z (ℓ₂) with a common tail y,
+//
+// whenever the combined length is at most maxLen.  Fraternal edges are
+// oriented by a degeneracy ordering of the graph they form, which keeps the
+// out-degree growth bounded on bounded expansion classes (Nešetřil–Ossona de
+// Mendez, "Grad and classes with bounded expansion II").
+func (d *Digraph) AugmentOnce(maxLen int) AugmentationResult {
+	var res AugmentationResult
+	type lenEdge struct {
+		u, v, length int
+	}
+	var fraternal []lenEdge
+	var transitive []lenEdge
+
+	// Collect in-arcs per vertex to generate transitive arcs: x→y→z.
+	in := make([][]Arc, d.n)
+	for v := 0; v < d.n; v++ {
+		for u, l := range d.out[v] {
+			in[u] = append(in[u], Arc{To: v, Length: l})
+		}
+	}
+	for y := 0; y < d.n; y++ {
+		outs := d.Out(y)
+		// Fraternal pairs: common tail y, heads a and b.
+		for i := 0; i < len(outs); i++ {
+			for j := i + 1; j < len(outs); j++ {
+				a, b := outs[i], outs[j]
+				l := a.Length + b.Length
+				if l > maxLen {
+					continue
+				}
+				if d.HasArc(a.To, b.To) || d.HasArc(b.To, a.To) {
+					continue
+				}
+				fraternal = append(fraternal, lenEdge{a.To, b.To, l})
+			}
+		}
+		// Transitive: x→y (in-arc) and y→z (out-arc) gives x→z.
+		for _, xa := range in[y] {
+			for _, za := range outs {
+				if xa.To == za.To {
+					continue
+				}
+				l := xa.Length + za.Length
+				if l > maxLen {
+					continue
+				}
+				if d.HasArc(xa.To, za.To) {
+					continue
+				}
+				transitive = append(transitive, lenEdge{xa.To, za.To, l})
+			}
+		}
+	}
+	for _, t := range transitive {
+		if !d.HasArc(t.u, t.v) {
+			res.TransitiveArcs++
+		}
+		d.AddArc(t.u, t.v, t.length)
+	}
+	// Orient fraternal edges: build the fraternal graph, compute a degeneracy
+	// order and point each edge toward the smaller endpoint in that order.
+	if len(fraternal) > 0 {
+		fg := graph.New(d.n)
+		for _, e := range fraternal {
+			if !fg.HasEdge(e.u, e.v) {
+				_ = fg.AddEdge(e.u, e.v)
+			}
+		}
+		fg.Finalize()
+		fo, _ := FromDegeneracy(fg)
+		seen := make(map[[2]int]bool)
+		for _, e := range fraternal {
+			key := [2]int{e.u, e.v}
+			if e.u > e.v {
+				key = [2]int{e.v, e.u}
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			res.FraternalEdges++
+			if fo.Less(e.u, e.v) {
+				d.AddArc(e.v, e.u, e.length)
+			} else {
+				d.AddArc(e.u, e.v, e.length)
+			}
+		}
+	}
+	res.MaxOutDegree = d.MaxOutDegree()
+	return res
+}
+
+// TFAugmentation runs `depth` augmentation rounds with the given length cap
+// and returns the augmented digraph together with the per-round results.
+func TFAugmentation(g *graph.Graph, depth, maxLen int) (*Digraph, []AugmentationResult) {
+	base, _ := FromDegeneracy(g)
+	d := OrientByOrder(g, base)
+	results := make([]AugmentationResult, 0, depth)
+	for i := 0; i < depth; i++ {
+		results = append(results, d.AugmentOnce(maxLen))
+	}
+	return d, results
+}

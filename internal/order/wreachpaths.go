@@ -1,0 +1,140 @@
+package order
+
+import (
+	"fmt"
+
+	"bedom/internal/graph"
+)
+
+// PathTo is a weak-reachability witness: a path from the owning vertex w to
+// the weakly reachable vertex Target; Path[0] = w and Path[len-1] = Target,
+// and every vertex of the path is ≥_L Target.  Its length (number of edges)
+// is len(Path)-1 ≤ r.
+type PathTo struct {
+	Target int
+	Path   []int
+}
+
+// WReachWithPaths computes, for every vertex w, the weak r-reachability set
+// together with one witnessing path per reachable vertex.  The witnessing
+// path to u is a shortest path from w to u inside the subgraph induced by
+// the vertices ≥_L u (the cluster X_u), exactly the paths learned by the
+// distributed Algorithm 4 (Lemma 7 of the paper).
+//
+// The result is indexed by vertex; witnesses[w] is sorted by the L-position
+// of the target, so witnesses[w][0] is the witness to min WReach_r[G,L,w].
+func WReachWithPaths(g *graph.Graph, o *Order, r int) [][]PathTo {
+	n := g.N()
+	witnesses := make([][]PathTo, n)
+	for w := 0; w < n; w++ {
+		witnesses[w] = []PathTo{{Target: w, Path: []int{w}}}
+	}
+	dist := make([]int, n)
+	parent := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	touched := make([]int, 0, 64)
+	q := graph.NewIntQueue(64)
+
+	for i := 0; i < n; i++ {
+		u := o.At(i)
+		q.Reset()
+		q.Push(u)
+		dist[u] = 0
+		touched = append(touched[:0], u)
+		for !q.Empty() {
+			x := q.Pop()
+			if dist[x] >= r {
+				continue
+			}
+			for _, wn := range g.Neighbors(x) {
+				y := int(wn)
+				if dist[y] != -1 || o.Less(y, u) {
+					continue
+				}
+				dist[y] = dist[x] + 1
+				parent[y] = x
+				touched = append(touched, y)
+				q.Push(y)
+			}
+		}
+		// First reconstruct every path (the parent pointers of intermediate
+		// vertices are still live), then reset the scratch arrays.
+		for _, w := range touched {
+			if w == u {
+				continue
+			}
+			// Reconstruct the path w → … → u by walking parents, which lead
+			// from w back toward the BFS root u.
+			path := make([]int, 0, dist[w]+1)
+			for x := w; x != -1; x = parent[x] {
+				path = append(path, x)
+				if x == u {
+					break
+				}
+			}
+			witnesses[w] = append(witnesses[w], PathTo{Target: u, Path: path})
+		}
+		for _, w := range touched {
+			dist[w] = -1
+			parent[w] = -1
+		}
+	}
+	// Sort the witness lists by L-position of the target (insertion happened
+	// in increasing L order already, except the self-witness which belongs at
+	// the position of w itself).  Re-sort to be safe and deterministic.
+	for w := 0; w < n; w++ {
+		ws := witnesses[w]
+		for a := 1; a < len(ws); a++ {
+			b := a
+			for b > 0 && o.Less(ws[b].Target, ws[b-1].Target) {
+				ws[b], ws[b-1] = ws[b-1], ws[b]
+				b--
+			}
+		}
+	}
+	return witnesses
+}
+
+// VerifyWitnesses checks that a witness structure is internally consistent
+// with the definition of weak reachability: every path starts at the owning
+// vertex, ends at the target, has length ≤ r, uses only edges of g and only
+// vertices ≥_L the target.  It returns the first violation found, or nil.
+func VerifyWitnesses(g *graph.Graph, o *Order, r int, witnesses [][]PathTo) error {
+	for w, ws := range witnesses {
+		for _, pt := range ws {
+			if err := verifyOnePath(g, o, r, w, pt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func verifyOnePath(g *graph.Graph, o *Order, r, w int, pt PathTo) error {
+	p := pt.Path
+	if len(p) == 0 || p[0] != w || p[len(p)-1] != pt.Target {
+		return errPath(w, pt, "endpoints")
+	}
+	if len(p)-1 > r {
+		return errPath(w, pt, "too long")
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			return errPath(w, pt, "non-edge")
+		}
+	}
+	for _, x := range p {
+		if o.Less(x, pt.Target) {
+			return errPath(w, pt, "vertex below target")
+		}
+	}
+	return nil
+}
+
+func errPath(w int, pt PathTo, reason string) error {
+	return fmt.Errorf("order: invalid weak-reachability witness from %d to %d (%v): %s",
+		w, pt.Target, pt.Path, reason)
+}

@@ -1,0 +1,84 @@
+package order
+
+import (
+	"testing"
+
+	"bedom/internal/gen"
+)
+
+func TestWReachWithPathsMatchesSets(t *testing.T) {
+	for _, r := range []int{1, 2, 3} {
+		g := gen.Apollonian(40, 13)
+		o := ConstructDefault(g, r)
+		sets := WReachSets(g, o, r)
+		wits := WReachWithPaths(g, o, r)
+		if err := VerifyWitnesses(g, o, r, wits); err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if len(wits[v]) != len(sets[v]) {
+				t.Fatalf("r=%d v=%d: %d witnesses vs %d set members", r, v, len(wits[v]), len(sets[v]))
+			}
+			for i := range wits[v] {
+				if wits[v][i].Target != sets[v][i] {
+					t.Fatalf("r=%d v=%d: witness order mismatch", r, v)
+				}
+			}
+		}
+	}
+}
+
+func TestWReachWithPathsSelfWitness(t *testing.T) {
+	g := gen.Grid(4, 4)
+	o, _ := FromDegeneracy(g)
+	wits := WReachWithPaths(g, o, 2)
+	for v := 0; v < g.N(); v++ {
+		found := false
+		for _, pt := range wits[v] {
+			if pt.Target == v {
+				found = true
+				if len(pt.Path) != 1 || pt.Path[0] != v {
+					t.Fatalf("self witness of %d is %v", v, pt.Path)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("vertex %d has no self witness", v)
+		}
+	}
+}
+
+func TestWReachWithPathsShortestWithinCluster(t *testing.T) {
+	// On a path graph with the identity order, the witness from w to u < w is
+	// the unique subpath, of length w-u (when ≤ r).
+	g := gen.Path(8)
+	o := Identity(8)
+	wits := WReachWithPaths(g, o, 3)
+	for w := 0; w < 8; w++ {
+		for _, pt := range wits[w] {
+			if got, want := len(pt.Path)-1, w-pt.Target; got != want {
+				t.Fatalf("witness %d→%d has length %d want %d", w, pt.Target, got, want)
+			}
+		}
+	}
+}
+
+func TestVerifyWitnessesCatchesBadPaths(t *testing.T) {
+	g := gen.Path(5)
+	o := Identity(5)
+	bad := [][]PathTo{
+		{{Target: 0, Path: []int{0}}},
+		{{Target: 1, Path: []int{1}}, {Target: 0, Path: []int{1, 3}}}, // non-edge
+	}
+	if err := VerifyWitnesses(g, o, 2, bad); err == nil {
+		t.Fatal("expected error for non-edge path")
+	}
+	bad2 := [][]PathTo{{{Target: 0, Path: []int{1, 0}}}} // wrong start vertex
+	if err := VerifyWitnesses(g, o, 2, bad2); err == nil {
+		t.Fatal("expected error for wrong endpoints")
+	}
+	bad3 := [][]PathTo{{{Target: 0, Path: []int{0, 1, 2, 3}}}} // wrong target end
+	if err := VerifyWitnesses(g, o, 3, bad3); err == nil {
+		t.Fatal("expected error for wrong target")
+	}
+}
