@@ -1,0 +1,3 @@
+module bedom
+
+go 1.24

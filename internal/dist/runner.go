@@ -1,0 +1,188 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"bedom/internal/graph"
+)
+
+// Runner executes one protocol on one graph.  Create it with NewRunner and
+// execute with Run; a Runner is single-use.
+type Runner struct {
+	g         *graph.Graph
+	model     Model
+	opts      Options
+	bandwidth int
+	maxRounds int
+
+	// neighbors[v] is the sorted adjacency list of v as []int (the graph
+	// stores int32; converting once up front keeps the hot path free of
+	// per-access conversions and gives Context.Neighbors a stable slice).
+	neighbors [][]int
+
+	nodes   []Node
+	halters []Halter // halters[v] is nil when nodes[v] has no Done method
+	ctxs    []Context
+	inboxes [][]Inbound
+
+	round int
+	used  bool
+}
+
+// NewRunner prepares a simulator run of the given model on g.  The graph is
+// only read; it may be shared between concurrent runners.
+func NewRunner(g *graph.Graph, model Model, opts Options) *Runner {
+	n := g.N()
+	r := &Runner{
+		g:         g,
+		model:     model,
+		opts:      opts,
+		bandwidth: opts.Bandwidth,
+		maxRounds: opts.MaxRounds,
+	}
+	if r.maxRounds <= 0 {
+		// A runaway guard, not a complexity bound: the library's protocols
+		// finish in O(r·log n) rounds, and even the stall-breaker of the
+		// refined-order protocol stays linear in n with small constants.
+		r.maxRounds = 100*n + 1000
+	}
+	r.neighbors = make([][]int, n)
+	for v := 0; v < n; v++ {
+		adj := g.NeighborsInts(v)
+		if !sort.IntsAreSorted(adj) {
+			sort.Ints(adj)
+		}
+		r.neighbors[v] = adj
+	}
+	return r
+}
+
+// Run instantiates a node per vertex via factory (called sequentially in
+// vertex order, so factories may write to shared result slices), runs Init
+// and then synchronous rounds until termination, and returns the accumulated
+// statistics.  On a model violation or round overrun it returns the
+// statistics gathered so far together with the error.
+//
+// Termination: the run ends after the first round in which no node sent a
+// message and every node implementing Halter is done.
+func (r *Runner) Run(factory func(v int) Node) (Stats, error) {
+	if r.used {
+		return Stats{}, ErrRunnerReused
+	}
+	r.used = true
+	if !r.model.valid() {
+		return Stats{}, fmt.Errorf("%w: %d", ErrBadModel, int(r.model))
+	}
+	n := r.g.N()
+	if n == 0 {
+		return Stats{}, nil
+	}
+
+	r.nodes = make([]Node, n)
+	r.halters = make([]Halter, n)
+	for v := 0; v < n; v++ {
+		node := factory(v)
+		if node == nil {
+			return Stats{}, fmt.Errorf("dist: factory returned nil node for vertex %d", v)
+		}
+		r.nodes[v] = node
+		if h, ok := node.(Halter); ok {
+			r.halters[v] = h
+		}
+	}
+	r.ctxs = make([]Context, n)
+	r.inboxes = make([][]Inbound, n)
+	for v := 0; v < n; v++ {
+		c := &r.ctxs[v]
+		c.r = r
+		c.v = v
+		c.out = &c.boxes[0]
+	}
+
+	// Round 0: Init every node (messages land in outbox slot 0).
+	r.round = 0
+	init := r.forEachNode(func(acc *roundAccum, v int) {
+		c := &r.ctxs[v]
+		r.nodes[v].Init(c)
+		c.finishStep()
+		if c.err != nil {
+			acc.errSeen = true
+		}
+	})
+	if init.errSeen {
+		return Stats{}, r.firstError()
+	}
+
+	var stats Stats
+	for t := 1; ; t++ {
+		if t > r.maxRounds {
+			return stats, fmt.Errorf("%w: no quiescence after %d rounds in %v (MaxRounds)",
+				ErrMaxRounds, r.maxRounds, r.model)
+		}
+		r.round = t
+		prevSlot, curSlot := (t-1)%2, t%2
+		total := r.forEachNode(func(acc *roundAccum, v int) {
+			r.step(acc, v, prevSlot, curSlot)
+		})
+		stats.Rounds = t
+		stats.Messages += total.messages
+		stats.Words += total.words
+		if total.maxWords > stats.MaxMessageWords {
+			stats.MaxMessageWords = total.maxWords
+		}
+		if total.errSeen {
+			return stats, r.firstError()
+		}
+		if !total.anySent && total.allDone {
+			return stats, nil
+		}
+	}
+}
+
+// step executes one round for vertex v: gather the inbox from the neighbors'
+// previous-round outboxes, reset the own current outbox, and call Round.
+// Each vertex only reads prev-slot outboxes and writes its own cur-slot
+// outbox, so steps of distinct vertices never conflict.
+func (r *Runner) step(acc *roundAccum, v int, prevSlot, curSlot int) {
+	inbox := r.inboxes[v][:0]
+	for _, u := range r.neighbors[v] {
+		ob := &r.ctxs[u].boxes[prevSlot]
+		for _, bm := range ob.bcasts {
+			inbox = append(inbox, Inbound{From: u, Msg: bm.msg})
+			acc.deliver(bm.words)
+		}
+		for _, e := range ob.directsTo(v) {
+			inbox = append(inbox, Inbound{From: u, Msg: e.msg})
+			acc.deliver(e.words)
+		}
+	}
+	r.inboxes[v] = inbox
+
+	c := &r.ctxs[v]
+	c.out = &c.boxes[curSlot]
+	c.out.reset()
+	r.nodes[v].Round(c, inbox)
+	c.finishStep()
+
+	if !c.out.empty() {
+		acc.anySent = true
+	}
+	if h := r.halters[v]; h != nil && !h.Done() {
+		acc.allDone = false
+	}
+	if c.err != nil {
+		acc.errSeen = true
+	}
+}
+
+// firstError returns the violation of the smallest vertex id, keeping error
+// reporting deterministic regardless of worker scheduling.
+func (r *Runner) firstError() error {
+	for v := range r.ctxs {
+		if err := r.ctxs[v].err; err != nil {
+			return err
+		}
+	}
+	return nil
+}

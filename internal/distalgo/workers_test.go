@@ -1,0 +1,66 @@
+package distalgo
+
+import (
+	"testing"
+
+	"bedom/internal/dist"
+	"bedom/internal/gen"
+)
+
+// TestPipelineDeterministicAcrossWorkers runs the full Theorem 9 and
+// Theorem 10 pipelines under different simulator worker counts and demands
+// bit-identical results: the same elected sets, the same per-phase and total
+// round counts, and the same congestion statistics.  This is the acceptance
+// check that the parallel fan-out of the simulator does not leak scheduling
+// into the algorithms.
+func TestPipelineDeterministicAcrossWorkers(t *testing.T) {
+	g := gen.Grid(10, 10)
+
+	ref, err := RunDomSet(g, 1, dist.CongestBC, dist.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refConn, err := RunConnectedDomSet(g, 1, dist.CongestBC, dist.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 8} {
+		res, err := RunDomSet(g, 1, dist.CongestBC, dist.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !sameInts(res.Set, ref.Set) {
+			t.Fatalf("workers=%d: dominating set diverges: %d vs %d vertices",
+				workers, len(res.Set), len(ref.Set))
+		}
+		if res.Stats.Rounds != ref.Stats.Rounds ||
+			res.Stats.Messages != ref.Stats.Messages ||
+			res.Stats.Words != ref.Stats.Words ||
+			res.Stats.MaxMessageWords != ref.Stats.MaxMessageWords {
+			t.Fatalf("workers=%d: stats diverge: %+v vs %+v",
+				workers, res.Stats, ref.Stats)
+		}
+		if len(res.Stats.Phases) != len(ref.Stats.Phases) {
+			t.Fatalf("workers=%d: phase count diverges: %d vs %d",
+				workers, len(res.Stats.Phases), len(ref.Stats.Phases))
+		}
+		for i, ph := range res.Stats.Phases {
+			if ph != ref.Stats.Phases[i] {
+				t.Fatalf("workers=%d: phase %d diverges: %+v vs %+v",
+					workers, i, ph, ref.Stats.Phases[i])
+			}
+		}
+
+		conn, err := RunConnectedDomSet(g, 1, dist.CongestBC, dist.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d connected: %v", workers, err)
+		}
+		if !sameInts(conn.Set, refConn.Set) || !sameInts(conn.DomSet, refConn.DomSet) {
+			t.Fatalf("workers=%d: connected pipeline diverges", workers)
+		}
+		if conn.Stats.Rounds != refConn.Stats.Rounds {
+			t.Fatalf("workers=%d: connected rounds diverge: %d vs %d",
+				workers, conn.Stats.Rounds, refConn.Stats.Rounds)
+		}
+	}
+}
