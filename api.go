@@ -28,18 +28,32 @@
 package bedom
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"bedom/internal/connect"
-	"bedom/internal/cover"
 	"bedom/internal/dist"
 	"bedom/internal/distalgo"
 	"bedom/internal/domset"
+	"bedom/internal/engine"
 	"bedom/internal/gen"
 	"bedom/internal/graph"
 	"bedom/internal/order"
 )
+
+// defaultEngine is the process-wide query engine behind the one-shot facade
+// functions (see internal/engine and DESIGN.md §5): repeated queries on the
+// same graph reuse the cached weak-reachability orders, wcol measurements
+// and covers instead of rebuilding them, and concurrent identical queries
+// coalesce onto a single substrate construction.  The cache is keyed by
+// graph identity and invalidated when the graph grows, so callers that never
+// repeat a (graph, radius) pair see unchanged behavior.
+var defaultEngine = sync.OnceValue(func() *engine.Engine {
+	return engine.New(engine.Config{})
+})
 
 // Graph is an undirected simple graph with vertices 0..n-1.
 type Graph = graph.Graph
@@ -83,8 +97,13 @@ func Grid(rows, cols int) *Graph { return gen.Grid(rows, cols) }
 // BuildOrder computes a linear order intended to witness a small weak
 // 2r-colouring number (the sequential substitute for Theorem 2), using
 // degeneracy ordering plus distance-truncated transitive–fraternal
-// augmentations.
-func BuildOrder(g *Graph, r int) *Order { return order.ConstructDefault(g, r) }
+// augmentations.  Orders are cached per (graph, radius) by the default
+// engine; do not mutate the graph between calls that share an order.
+func BuildOrder(g *Graph, r int) *Order {
+	// Order construction cannot fail (and OrderFor runs without a deadline).
+	o, _, _ := defaultEngine().OrderFor(g, r)
+	return o
+}
 
 // WeakColouringNumber returns the measured wcol_s(G, L) = max_v
 // |WReach_s[G, L, v]| of an order, the constant that controls all
@@ -114,19 +133,24 @@ func (r SequentialResult) Ratio() float64 {
 }
 
 // DominatingSet computes a distance-r dominating set with the paper's
-// sequential c(r)-approximation (Theorem 5, Algorithm 1).
+// sequential c(r)-approximation (Theorem 5, Algorithm 1).  The expensive
+// substrates (order, wcol) are cached by the default engine, so repeated
+// calls on the same graph are much faster than the first.
 func DominatingSet(g *Graph, r int) (SequentialResult, error) {
 	if r < 1 {
 		return SequentialResult{}, fmt.Errorf("bedom: radius must be ≥ 1, got %d", r)
 	}
-	o := order.ConstructDefault(g, r)
-	D := domset.AlgorithmOne(g, o, r)
-	lb := domset.ScatteredLowerBound(g, r, D)
+	resp, err := defaultEngine().Do(context.Background(), engine.Request{
+		G: g, Kind: engine.KindDominatingSet, R: r,
+	})
+	if err != nil {
+		return SequentialResult{}, err
+	}
 	return SequentialResult{
 		R:          r,
-		Set:        D,
-		LowerBound: lb,
-		Wcol2R:     order.WColMeasure(g, o, 2*r),
+		Set:        resp.Set,
+		LowerBound: resp.LowerBound,
+		Wcol2R:     resp.Wcol,
 	}, nil
 }
 
@@ -138,18 +162,22 @@ func ConnectedDominatingSet(g *Graph, r int) (SequentialResult, error) {
 	if r < 1 {
 		return SequentialResult{}, fmt.Errorf("bedom: radius must be ≥ 1, got %d", r)
 	}
-	if !g.IsConnected() {
-		return SequentialResult{}, fmt.Errorf("bedom: connected dominating sets require a connected graph")
+	// Connectivity is validated inside the engine pipeline (one BFS, not two).
+	resp, err := defaultEngine().Do(context.Background(), engine.Request{
+		G: g, Kind: engine.KindConnectedDominatingSet, R: r,
+	})
+	if err != nil {
+		// Keep the facade's error namespace for the documented failure mode.
+		if errors.Is(err, engine.ErrNotConnected) {
+			return SequentialResult{}, fmt.Errorf("bedom: connected dominating sets require a connected graph")
+		}
+		return SequentialResult{}, err
 	}
-	o := order.ConstructDefault(g, 2*r+1)
-	D := domset.AlgorithmOne(g, o, r)
-	Dp := connect.Closure(g, o, D, r)
-	lb := domset.ScatteredLowerBound(g, r, D)
 	return SequentialResult{
 		R:          r,
-		Set:        Dp,
-		LowerBound: lb,
-		Wcol2R:     order.WColMeasure(g, o, 2*r+1),
+		Set:        resp.Set,
+		LowerBound: resp.LowerBound,
+		Wcol2R:     resp.Wcol,
 	}, nil
 }
 
@@ -179,21 +207,33 @@ type CoverResult struct {
 }
 
 // NeighborhoodCover computes the sparse r-neighborhood cover of Theorem 4
-// from a weak-reachability order.
+// from a weak-reachability order.  The cover is cached by the default
+// engine; the returned clusters are a private copy the caller may modify.
 func NeighborhoodCover(g *Graph, r int) (CoverResult, error) {
 	if r < 1 {
 		return CoverResult{}, fmt.Errorf("bedom: radius must be ≥ 1, got %d", r)
 	}
-	o := order.ConstructDefault(g, r)
-	c := cover.Build(g, o, r)
-	st := c.ComputeStats(g)
-	return CoverResult{R: r, Clusters: c.Clusters, Degree: st.Degree, MaxRadius: st.MaxRadius}, nil
+	resp, err := defaultEngine().Do(context.Background(), engine.Request{
+		G: g, Kind: engine.KindCover, R: r,
+	})
+	if err != nil {
+		return CoverResult{}, err
+	}
+	c := resp.CoverData()
+	clusters := make(map[int][]int, len(c.Clusters))
+	for center, members := range c.Clusters {
+		clusters[center] = append([]int(nil), members...)
+	}
+	return CoverResult{R: r, Clusters: clusters, Degree: resp.CoverDegree, MaxRadius: resp.CoverMaxRadius}, nil
 }
 
 // DistributedOptions tunes the simulator runs of the distributed API.
 type DistributedOptions struct {
-	// Model selects the communication model; the zero value CONGESTBC... is
-	// not the zero value, so use DefaultDistributedOptions or set explicitly.
+	// Model selects the communication model.  Note that the zero value of
+	// Model is LOCAL, not the CONGEST_BC model the paper's algorithms assume;
+	// a zero DistributedOptions therefore runs in LOCAL.  Use
+	// DefaultDistributedOptions (the recommended path) to get CONGEST_BC, or
+	// set Model explicitly.
 	Model Model
 	// Workers bounds the number of goroutines the simulator uses per round
 	// (0 = GOMAXPROCS).
@@ -237,24 +277,26 @@ type DistributedResult struct {
 }
 
 // DistributedDominatingSet runs the paper's Theorem 9 pipeline (distributed
-// order computation, Algorithm 4, dominator election) on the simulator.
+// order computation, Algorithm 4, dominator election) on the simulator, via
+// the default engine's worker pool.
 func DistributedDominatingSet(g *Graph, r int, opts ...DistributedOptions) (DistributedResult, error) {
 	opt := pickOpts(opts)
-	run := distalgo.RunDomSet
-	if opt.RefinedOrder {
-		run = distalgo.RunDomSetRefined
-	}
-	res, err := run(g, r, opt.Model, opt.simOptions())
+	resp, err := defaultEngine().Do(context.Background(), engine.Request{
+		G: g, Kind: engine.KindDistributedDominatingSet, R: r,
+		Model: opt.Model, ModelSet: true,
+		SimWorkers: opt.Workers, MaxRounds: opt.MaxRounds,
+		RefinedOrder: opt.RefinedOrder,
+	})
 	if err != nil {
 		return DistributedResult{}, err
 	}
 	return DistributedResult{
 		R:               r,
-		Set:             res.Set,
-		DomSet:          res.Set,
-		Rounds:          res.Stats.Rounds,
-		Messages:        res.Stats.Messages,
-		MaxMessageWords: res.Stats.MaxMessageWords,
+		Set:             resp.Set,
+		DomSet:          resp.DomSet,
+		Rounds:          resp.Rounds,
+		Messages:        resp.Messages,
+		MaxMessageWords: resp.MaxMessageWords,
 	}, nil
 }
 
@@ -262,17 +304,21 @@ func DistributedDominatingSet(g *Graph, r int, opts ...DistributedOptions) (Dist
 // the CONGEST_BC model (or the model given in opts).
 func DistributedConnectedDominatingSet(g *Graph, r int, opts ...DistributedOptions) (DistributedResult, error) {
 	opt := pickOpts(opts)
-	res, err := distalgo.RunConnectedDomSet(g, r, opt.Model, opt.simOptions())
+	resp, err := defaultEngine().Do(context.Background(), engine.Request{
+		G: g, Kind: engine.KindDistributedConnected, R: r,
+		Model: opt.Model, ModelSet: true,
+		SimWorkers: opt.Workers, MaxRounds: opt.MaxRounds,
+	})
 	if err != nil {
 		return DistributedResult{}, err
 	}
 	return DistributedResult{
 		R:               r,
-		Set:             res.Set,
-		DomSet:          res.DomSet,
-		Rounds:          res.Stats.Rounds,
-		Messages:        res.Stats.Messages,
-		MaxMessageWords: res.Stats.MaxMessageWords,
+		Set:             resp.Set,
+		DomSet:          resp.DomSet,
+		Rounds:          resp.Rounds,
+		Messages:        resp.Messages,
+		MaxMessageWords: resp.MaxMessageWords,
 	}, nil
 }
 
@@ -314,7 +360,7 @@ func PlanarLocalConnectedDominatingSet(g *Graph, opts ...DistributedOptions) (Di
 		DomSet:          mds.Set,
 		Rounds:          mds.Stats.Rounds + cds.Stats.Rounds,
 		Messages:        mds.Stats.Messages + cds.Stats.Messages,
-		MaxMessageWords: maxInt(mds.Stats.MaxMessageWords, cds.Stats.MaxMessageWords),
+		MaxMessageWords: max(mds.Stats.MaxMessageWords, cds.Stats.MaxMessageWords),
 	}, nil
 }
 
@@ -323,11 +369,4 @@ func pickOpts(opts []DistributedOptions) DistributedOptions {
 		return opts[0]
 	}
 	return DefaultDistributedOptions()
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -2,6 +2,7 @@ package bedom
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"bedom/internal/gen"
@@ -66,6 +67,8 @@ func TestConnectedDominatingSetAPI(t *testing.T) {
 	disc, _ := FromEdges(4, [][2]int{{0, 1}, {2, 3}})
 	if _, err := ConnectedDominatingSet(disc, 1); err == nil {
 		t.Fatal("disconnected input must be rejected")
+	} else if !strings.HasPrefix(err.Error(), "bedom:") {
+		t.Fatalf("facade error leaks internals: %v", err)
 	}
 }
 
@@ -166,6 +169,52 @@ func TestLocalConnectAndPlanarPipelineAPI(t *testing.T) {
 	}
 	if _, err := LocalConnect(g, seq.Set, 0); err == nil {
 		t.Fatal("radius 0 must be rejected")
+	}
+}
+
+// TestFacadeCachingIsTransparent asserts that routing the facade through the
+// default engine does not change results: repeated calls (served from the
+// substrate cache) are identical to the first (cold) call.
+func TestFacadeCachingIsTransparent(t *testing.T) {
+	g := Grid(14, 14)
+	cold, err := DominatingSet(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		warm, err := DominatingSet(g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(warm.Set) != len(cold.Set) || warm.LowerBound != cold.LowerBound || warm.Wcol2R != cold.Wcol2R {
+			t.Fatalf("warm call diverged: %+v vs %+v", warm, cold)
+		}
+		for j := range warm.Set {
+			if warm.Set[j] != cold.Set[j] {
+				t.Fatal("warm set differs element-wise")
+			}
+		}
+	}
+	ccold, err := NeighborhoodCover(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The returned clusters are a private copy: mutating them must not poison
+	// the cache for later calls.
+	for center := range ccold.Clusters {
+		ccold.Clusters[center] = nil
+	}
+	cwarm, err := NeighborhoodCover(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cwarm.Clusters) != len(ccold.Clusters) || cwarm.Degree != ccold.Degree {
+		t.Fatalf("cover warm call diverged")
+	}
+	for _, members := range cwarm.Clusters {
+		if len(members) == 0 {
+			t.Fatal("cache was poisoned by caller mutation")
+		}
 	}
 }
 

@@ -6,12 +6,14 @@
 package bedom
 
 import (
+	"context"
 	"testing"
 
 	"bedom/internal/connect"
 	"bedom/internal/dist"
 	"bedom/internal/distalgo"
 	"bedom/internal/domset"
+	"bedom/internal/engine"
 	"bedom/internal/exp"
 	"bedom/internal/gen"
 	"bedom/internal/graph"
@@ -189,6 +191,71 @@ func BenchmarkLenzenPlanarMDS(b *testing.B) {
 		res, err := distalgo.RunLenzen(g, dist.Options{})
 		if err != nil || len(res.Set) == 0 {
 			b.Fatal("Lenzen failed")
+		}
+	}
+}
+
+// BenchmarkEngineVsUncached compares repeated same-graph distance-r
+// dominating set queries through the query engine (order and wcol substrates
+// served from the cache after the first query) against the uncached pipeline
+// the facade ran before the engine existed (order + wcol rebuilt per call).
+// The ISSUE 2 acceptance bar is engine ≥ 5× faster on the warm path.
+func BenchmarkEngineVsUncached(b *testing.B) {
+	g := benchGraph() // 64×64 grid
+	const r = 2
+	b.Run("uncached-facade-path", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := order.ConstructDefault(g, r)
+			D := domset.AlgorithmOne(g, o, r)
+			_ = domset.ScatteredLowerBound(g, r, D)
+			_ = order.WColMeasure(g, o, 2*r)
+		}
+	})
+	b.Run("engine-cached", func(b *testing.B) {
+		eng := engine.New(engine.Config{})
+		defer eng.Close()
+		req := engine.Request{G: g, Kind: engine.KindDominatingSet, R: r}
+		if _, err := eng.Do(context.Background(), req); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := eng.Do(context.Background(), req)
+			if err != nil || resp.Size == 0 {
+				b.Fatal("engine query failed")
+			}
+		}
+	})
+}
+
+// BenchmarkEngineBatch measures batched mixed-kind throughput on a warm
+// cache, the domserved /batch serving shape.
+func BenchmarkEngineBatch(b *testing.B) {
+	eng := engine.New(engine.Config{})
+	defer eng.Close()
+	if _, err := eng.Register("g", benchGraph()); err != nil {
+		b.Fatal(err)
+	}
+	reqs := []engine.Request{
+		{Graph: "g", Kind: engine.KindDominatingSet, R: 1},
+		{Graph: "g", Kind: engine.KindDominatingSet, R: 2},
+		{Graph: "g", Kind: engine.KindCover, R: 1},
+		{Graph: "g", Kind: engine.KindGreedy, R: 1},
+	}
+	for _, res := range eng.Batch(context.Background(), reqs) { // warm
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range eng.Batch(context.Background(), reqs) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
 		}
 	}
 }

@@ -1,0 +1,91 @@
+// Command domserved serves domination queries over HTTP.
+//
+// It wraps the concurrent query engine of internal/engine: registered graphs
+// share an LRU-bounded cache of weak-reachability orders, wcol measurements
+// and neighborhood covers (built once per (graph, radius) even under
+// concurrent load), and queries run on a bounded worker pool with per-query
+// timeouts.
+//
+// Usage:
+//
+//	domserved                          # listen on :8377
+//	domserved -addr :9000 -cache 256 -workers 8 -timeout 30s
+//
+// Endpoints (all JSON):
+//
+//	POST   /graphs          {"name":"g","family":"grid","n":4096}
+//	                        {"name":"g","n":3,"edges":[[0,1],[1,2]]}
+//	                        or a text/plain edge-list body with ?name=g
+//	GET    /graphs          list registered graphs
+//	DELETE /graphs/{name}   unregister
+//	POST   /query           {"graph":"g","kind":"domset","r":2}
+//	POST   /batch           {"queries":[{...},{...}]}
+//	GET    /stats           cache and executor counters
+//	GET    /healthz         liveness probe
+//
+// Query kinds: domset, cds, cover, greedy, dist-domset, dist-cds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bedom/internal/engine"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8377", "listen address")
+		cache   = flag.Int("cache", 128, "substrate cache capacity (LRU entries)")
+		workers = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "queued-query bound (0 = 4×workers)")
+		timeout = flag.Duration("timeout", 0, "default per-query timeout (0 = none)")
+	)
+	flag.Parse()
+
+	eng := engine.New(engine.Config{
+		CacheEntries:   *cache,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("domserved: listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Print("domserved: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("domserved: shutdown: %v", err)
+		}
+		eng.Close()
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "domserved:", err)
+			os.Exit(1)
+		}
+	}
+}

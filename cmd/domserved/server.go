@@ -1,0 +1,381 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"bedom/internal/dist"
+	"bedom/internal/engine"
+	"bedom/internal/gen"
+	"bedom/internal/graph"
+)
+
+// maxBodyBytes bounds request bodies (edge lists can be large but finite).
+const maxBodyBytes = 256 << 20
+
+// maxGraphVertices bounds the declared vertex count of registered graphs: a
+// request body is small even when its 'n' is huge, and graph.New allocates
+// O(n) immediately, so the body-size limit alone does not bound memory.
+const maxGraphVertices = 32 << 20
+
+// server wires an engine to the HTTP surface.
+type server struct {
+	eng   *engine.Engine
+	start time.Time
+}
+
+// newServer returns the domserved handler tree:
+//
+//	POST   /graphs          register a graph (JSON or text edge list)
+//	GET    /graphs          list registered graphs
+//	DELETE /graphs/{name}   unregister a graph
+//	POST   /query           run one domination query
+//	POST   /batch           run many queries across the worker pool
+//	GET    /stats           engine counters (cache, executor, latency)
+//	GET    /healthz         liveness probe
+func newServer(eng *engine.Engine) http.Handler {
+	s := &server{eng: eng, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /graphs", s.handleRegister)
+	mux.HandleFunc("GET /graphs", s.handleListGraphs)
+	mux.HandleFunc("DELETE /graphs/{name}", s.handleRemoveGraph)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// registerRequest is the JSON body of POST /graphs.  Exactly one graph
+// source must be given: an inline edge array, an inline edge-list document,
+// or a generator family.
+type registerRequest struct {
+	Name string `json:"name"`
+	// N + Edges define the graph explicitly.
+	N     int      `json:"n,omitempty"`
+	Edges [][2]int `json:"edges,omitempty"`
+	// EdgeList is an inline document in the library's edge-list format.
+	EdgeList string `json:"edge_list,omitempty"`
+	// Family + Seed generate a member of a built-in family (see
+	// `graphgen -list`); N is the approximate vertex count.
+	Family string `json:"family,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	// LargestComponent restricts a generated graph to its largest component.
+	LargestComponent bool `json:"largest_component,omitempty"`
+}
+
+func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	// Raw edge-list upload: the body is the document, the name a query param.
+	if strings.HasPrefix(ct, "text/plain") || strings.HasPrefix(ct, "application/octet-stream") {
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			httpError(w, http.StatusBadRequest, "query parameter 'name' is required for edge-list uploads")
+			return
+		}
+		g, err := parseEdgeListBounded(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		info, err := s.eng.Register(name, g)
+		if err != nil {
+			// Any failure here is input-derived (a parse error or a rejected
+			// registration), never a server fault.
+			httpError(w, registerStatusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+		return
+	}
+
+	var req registerRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	g, err := buildGraph(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	info, err := s.eng.Register(req.Name, g)
+	if err != nil {
+		httpError(w, registerStatusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// registerStatusFor maps registration failures to statuses: everything that
+// goes wrong while parsing or admitting a graph is the client's input.
+func registerStatusFor(err error) int {
+	if s := statusFor(err); s != http.StatusInternalServerError {
+		return s
+	}
+	return http.StatusBadRequest
+}
+
+func buildGraph(req registerRequest) (*graph.Graph, error) {
+	sources := 0
+	for _, has := range []bool{req.Edges != nil, req.EdgeList != "", req.Family != ""} {
+		if has {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, errors.New("exactly one of 'edges', 'edge_list' or 'family' must be given")
+	}
+	if req.N < 0 || req.N > maxGraphVertices {
+		return nil, fmt.Errorf("'n' must be in [0, %d], got %d", maxGraphVertices, req.N)
+	}
+	switch {
+	case req.Edges != nil:
+		return graph.FromEdges(req.N, req.Edges)
+	case req.EdgeList != "":
+		return parseEdgeListBounded(strings.NewReader(req.EdgeList))
+	default:
+		f, err := gen.FamilyByName(req.Family)
+		if err != nil {
+			return nil, err
+		}
+		if req.N <= 0 {
+			return nil, fmt.Errorf("family %q needs a positive 'n'", req.Family)
+		}
+		g := f.Generate(req.N, req.Seed)
+		if req.LargestComponent {
+			g, _ = gen.LargestComponent(g)
+		}
+		return g, nil
+	}
+}
+
+// parseEdgeListBounded parses an edge-list document with the daemon's vertex
+// bound enforced before the O(n) adjacency table is allocated — a tiny body
+// can otherwise declare an arbitrarily large n, defeating the request-size
+// limit.
+func parseEdgeListBounded(r io.Reader) (*graph.Graph, error) {
+	return graph.ReadEdgeListLimit(r, maxGraphVertices)
+}
+
+func (s *server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.eng.Graphs()})
+}
+
+func (s *server) handleRemoveGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.eng.Remove(name) {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
+}
+
+// queryRequest is the JSON body of POST /query and each entry of /batch.
+type queryRequest struct {
+	Graph string `json:"graph"`
+	Kind  string `json:"kind"`
+	R     int    `json:"r"`
+	// TimeoutMS bounds this query in milliseconds (0 = server default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Model names the communication model for distributed kinds
+	// ("local", "congest", "congest_bc"; default "congest_bc").
+	Model string `json:"model,omitempty"`
+	// Workers / MaxRounds / RefinedOrder tune the simulator.
+	Workers      int  `json:"workers,omitempty"`
+	MaxRounds    int  `json:"max_rounds,omitempty"`
+	RefinedOrder bool `json:"refined_order,omitempty"`
+	// OmitSets drops the (possibly large) vertex sets from the response,
+	// keeping sizes and statistics only.
+	OmitSets bool `json:"omit_sets,omitempty"`
+	// IncludeClusters attaches the full cluster map to cover responses.
+	IncludeClusters bool `json:"include_clusters,omitempty"`
+}
+
+func (q queryRequest) toEngine() (engine.Request, error) {
+	if q.MaxRounds < 0 || q.MaxRounds > maxClientRounds {
+		return engine.Request{}, fmt.Errorf("max_rounds must be in [0, %d], got %d", maxClientRounds, q.MaxRounds)
+	}
+	if q.Workers < 0 || q.Workers > maxClientWorkers {
+		return engine.Request{}, fmt.Errorf("workers must be in [0, %d], got %d", maxClientWorkers, q.Workers)
+	}
+	req := engine.Request{
+		Graph:           q.Graph,
+		Kind:            engine.Kind(q.Kind),
+		R:               q.R,
+		Timeout:         time.Duration(q.TimeoutMS) * time.Millisecond,
+		SimWorkers:      q.Workers,
+		MaxRounds:       q.MaxRounds,
+		RefinedOrder:    q.RefinedOrder,
+		IncludeClusters: q.IncludeClusters,
+	}
+	if q.Model != "" {
+		m, err := engine.ParseModel(q.Model)
+		if err != nil {
+			return engine.Request{}, err
+		}
+		req.Model = m
+		req.ModelSet = true
+	}
+	return req, nil
+}
+
+// queryResponse wraps an engine response with an error string for batch
+// entries (and trims sets when omit_sets was requested).
+type queryResponse struct {
+	*engine.Response
+	Error string `json:"error,omitempty"`
+}
+
+func toResponse(resp *engine.Response, err error, omitSets bool) queryResponse {
+	if err != nil {
+		return queryResponse{Error: err.Error()}
+	}
+	if omitSets {
+		trimmed := *resp
+		trimmed.Set = nil
+		trimmed.DomSet = nil
+		resp = &trimmed
+	}
+	return queryResponse{Response: resp}
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var q queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&q); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	req, err := q.toEngine()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := s.eng.Do(r.Context(), req)
+	if err != nil {
+		httpError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(resp, nil, q.OmitSets))
+}
+
+// batchRequest is the JSON body of POST /batch.
+type batchRequest struct {
+	Queries []queryRequest `json:"queries"`
+}
+
+// maxBatchSize bounds one batch request.
+const maxBatchSize = 4096
+
+// maxClientRounds caps the client-supplied max_rounds override.  The
+// simulator's own default (~100·n) already bounds runaway protocols; an
+// unbounded client value would let a single request pin a pool worker
+// arbitrarily long after its timeout fired (the simulator does not observe
+// contexts), starving the daemon.
+const maxClientRounds = 10_000_000
+
+// maxClientWorkers caps the client-supplied simulator worker override: the
+// simulator otherwise clamps only at n goroutines, which a single request
+// against a large graph could use to exhaust memory.
+const maxClientWorkers = 256
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var b batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&b); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(b.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(b.Queries) > maxBatchSize {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("batch too large (%d > %d)", len(b.Queries), maxBatchSize))
+		return
+	}
+	reqs := make([]engine.Request, len(b.Queries))
+	for i, q := range b.Queries {
+		req, err := q.toEngine()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			return
+		}
+		reqs[i] = req
+	}
+	start := time.Now()
+	results := s.eng.Batch(r.Context(), reqs)
+	out := make([]queryResponse, len(results))
+	errs := 0
+	for i, res := range results {
+		out[i] = toResponse(res.Response, res.Err, b.Queries[i].OmitSets)
+		if res.Err != nil {
+			errs++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":    out,
+		"errors":     errs,
+		"elapsed_ms": float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"graphs":    s.eng.GraphCount(),
+		"uptime_ms": float64(time.Since(s.start)) / float64(time.Millisecond),
+	})
+}
+
+// statusClientClosedRequest is the nginx-convention status for a client that
+// went away mid-request; it keeps ordinary disconnects out of the 5xx rate.
+const statusClientClosedRequest = 499
+
+// statusFor maps engine errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrUnknownGraph):
+		return http.StatusNotFound
+	case errors.Is(err, engine.ErrInvalidRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, engine.ErrEngineClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, dist.ErrMaxRounds), errors.Is(err, dist.ErrMessageTooLarge),
+		errors.Is(err, dist.ErrBadModel):
+		// Simulator failures driven by client-supplied knobs (max_rounds,
+		// model) are the request's fault, not the daemon's.
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing sensible left to do but drop the conn.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,343 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bedom/internal/domset"
+	"bedom/internal/engine"
+	"bedom/internal/gen"
+	"bedom/internal/graph"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := engine.New(engine.Config{Workers: 4})
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(newServer(eng))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+func registerGrid(t *testing.T, ts *httptest.Server, name string, n int) {
+	t.Helper()
+	var info engine.GraphInfo
+	resp := doJSON(t, "POST", ts.URL+"/graphs", map[string]any{"name": name, "family": "grid", "n": n}, &info)
+	if resp.StatusCode != http.StatusCreated || info.Name != name || info.N == 0 {
+		t.Fatalf("register: status %d info %+v", resp.StatusCode, info)
+	}
+}
+
+func TestRegisterQueryRoundTrip(t *testing.T) {
+	ts := testServer(t)
+	registerGrid(t, ts, "grid", 144)
+
+	var q queryResponse
+	resp := doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "domset", "r": 2}, &q)
+	if resp.StatusCode != http.StatusOK || q.Error != "" {
+		t.Fatalf("query: status %d error %q", resp.StatusCode, q.Error)
+	}
+	if q.Size == 0 || len(q.Set) != q.Size || q.LowerBound == 0 || q.Wcol == 0 {
+		t.Fatalf("query response %+v", q)
+	}
+	// A second identical query is a cache hit.
+	var q2 queryResponse
+	doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "domset", "r": 2}, &q2)
+	if !q2.CacheHit {
+		t.Fatalf("warm query should report cache_hit, got %+v", q2)
+	}
+	// The result actually dominates the graph.
+	g := gen.Families()[0].Generate(144, 1)
+	if !domset.Check(g, q.Set, 2) {
+		t.Fatal("served set does not dominate the grid")
+	}
+}
+
+func TestRegisterExplicitEdgesAndEdgeListUpload(t *testing.T) {
+	ts := testServer(t)
+	var info engine.GraphInfo
+	resp := doJSON(t, "POST", ts.URL+"/graphs",
+		map[string]any{"name": "path", "n": 3, "edges": [][2]int{{0, 1}, {1, 2}}}, &info)
+	if resp.StatusCode != http.StatusCreated || info.M != 2 {
+		t.Fatalf("edges register: %d %+v", resp.StatusCode, info)
+	}
+
+	// text/plain edge-list upload.
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, gen.Grid(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.Post(ts.URL+"/graphs?name=uploaded", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d", hr.StatusCode)
+	}
+
+	// Inline edge_list document.
+	resp = doJSON(t, "POST", ts.URL+"/graphs",
+		map[string]any{"name": "inline", "edge_list": "3 2\n0 1\n1 2\n"}, &info)
+	if resp.StatusCode != http.StatusCreated || info.M != 2 {
+		t.Fatalf("inline register: %d %+v", resp.StatusCode, info)
+	}
+
+	var list struct {
+		Graphs []engine.GraphInfo `json:"graphs"`
+	}
+	doJSON(t, "GET", ts.URL+"/graphs", nil, &list)
+	if len(list.Graphs) != 3 {
+		t.Fatalf("expected 3 graphs, got %+v", list.Graphs)
+	}
+
+	req, _ := http.NewRequest("DELETE", ts.URL+"/graphs/path", nil)
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	if dr.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", dr.StatusCode)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	ts := testServer(t)
+	cases := []map[string]any{
+		{"name": "g"},                                                       // no source
+		{"name": "g", "family": "grid"},                                     // family without n
+		{"name": "g", "family": "nope", "n": 10},                            // unknown family
+		{"name": "", "family": "grid", "n": 10},                             // empty name
+		{"name": "g", "family": "grid", "n": 10, "edges": [][2]int{{0, 1}}}, // two sources
+		{"name": "g", "n": -1, "edges": [][2]int{{0, 1}}},                   // negative n
+		{"name": "g", "n": 1 << 40, "edges": [][2]int{{0, 1}}},              // absurd n
+	}
+	for _, c := range cases {
+		resp := doJSON(t, "POST", ts.URL+"/graphs", c, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("register %v: want 400, got %d", c, resp.StatusCode)
+		}
+	}
+	// A malformed text/plain upload is the client's fault too.
+	hr, err := http.Post(ts.URL+"/graphs?name=bad", "text/plain", strings.NewReader("not a graph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed upload: want 400, got %d", hr.StatusCode)
+	}
+	// A tiny document declaring an absurd vertex count must be rejected
+	// before anything is allocated — via upload and via inline edge_list.
+	hr, err = http.Post(ts.URL+"/graphs?name=huge", "text/plain", strings.NewReader("999999999999 1\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("huge upload header: want 400, got %d", hr.StatusCode)
+	}
+	resp := doJSON(t, "POST", ts.URL+"/graphs", map[string]any{"name": "huge", "edge_list": "999999999999 0\n"}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("huge inline header: want 400, got %d", resp.StatusCode)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts := testServer(t)
+	registerGrid(t, ts, "grid", 64)
+
+	var e struct {
+		Error string `json:"error"`
+	}
+	resp := doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "nope", "kind": "domset", "r": 1}, &e)
+	if resp.StatusCode != http.StatusNotFound || e.Error == "" {
+		t.Fatalf("unknown graph: %d %+v", resp.StatusCode, e)
+	}
+	resp = doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "nonsense", "r": 1}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad kind: %d", resp.StatusCode)
+	}
+	resp = doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "domset", "r": 0}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad radius: %d", resp.StatusCode)
+	}
+	resp = doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "dist-domset", "r": 1, "model": "telepathy"}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad model: %d", resp.StatusCode)
+	}
+	resp = doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "dist-domset", "r": 1, "max_rounds": 1 << 40}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("huge max_rounds: %d", resp.StatusCode)
+	}
+	resp = doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "dist-domset", "r": 1, "workers": 1 << 20}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("huge workers: %d", resp.StatusCode)
+	}
+	// Client-induced simulator failures are 422s, not 500s.
+	resp = doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "dist-domset", "r": 1, "max_rounds": 1}, nil)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("max_rounds overrun: want 422, got %d", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts := testServer(t)
+	registerGrid(t, ts, "grid", 100)
+
+	var out struct {
+		Results   []queryResponse `json:"results"`
+		Errors    int             `json:"errors"`
+		ElapsedMS float64         `json:"elapsed_ms"`
+	}
+	batch := map[string]any{"queries": []map[string]any{
+		{"graph": "grid", "kind": "domset", "r": 1},
+		{"graph": "grid", "kind": "domset", "r": 1, "omit_sets": true},
+		{"graph": "grid", "kind": "cover", "r": 1},
+		{"graph": "grid", "kind": "dist-domset", "r": 1},
+		{"graph": "missing", "kind": "domset", "r": 1},
+	}}
+	resp := doJSON(t, "POST", ts.URL+"/batch", batch, &out)
+	if resp.StatusCode != http.StatusOK || len(out.Results) != 5 {
+		t.Fatalf("batch: %d %+v", resp.StatusCode, out)
+	}
+	if out.Errors != 1 || out.Results[4].Error == "" {
+		t.Fatalf("batch errors: %+v", out)
+	}
+	if out.Results[0].Size == 0 || out.Results[0].Set == nil {
+		t.Fatalf("batch entry 0: %+v", out.Results[0])
+	}
+	if out.Results[1].Set != nil || out.Results[1].Size != out.Results[0].Size {
+		t.Fatalf("omit_sets entry: %+v", out.Results[1])
+	}
+	if out.Results[3].Rounds == 0 {
+		t.Fatalf("distributed entry: %+v", out.Results[3])
+	}
+	if out.Results[2].Clusters != nil {
+		t.Fatal("clusters must be omitted unless requested")
+	}
+
+	// Degenerate batches.
+	if resp := doJSON(t, "POST", ts.URL+"/batch", map[string]any{"queries": []any{}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d", resp.StatusCode)
+	}
+}
+
+func TestCoverClustersOptIn(t *testing.T) {
+	ts := testServer(t)
+	registerGrid(t, ts, "grid", 36)
+	var q queryResponse
+	resp := doJSON(t, "POST", ts.URL+"/query",
+		map[string]any{"graph": "grid", "kind": "cover", "r": 1, "include_clusters": true}, &q)
+	if resp.StatusCode != http.StatusOK || q.Error != "" {
+		t.Fatalf("cover query: %d %q", resp.StatusCode, q.Error)
+	}
+	if len(q.Clusters) != q.Size || q.Size == 0 {
+		t.Fatalf("expected %d clusters in response, got %d", q.Size, len(q.Clusters))
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	ts := testServer(t)
+	registerGrid(t, ts, "grid", 81)
+	doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "domset", "r": 1}, nil)
+	doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "domset", "r": 1}, nil)
+
+	var st engine.Stats
+	resp := doJSON(t, "GET", ts.URL+"/stats", nil, &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	if st.Graphs != 1 || st.Queries < 2 || st.SubstrateBuilds == 0 || st.CacheHits == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	var hz map[string]any
+	resp = doJSON(t, "GET", ts.URL+"/healthz", nil, &hz)
+	if resp.StatusCode != http.StatusOK || hz["status"] != "ok" {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, hz)
+	}
+}
+
+func TestMethodDiscipline(t *testing.T) {
+	ts := testServer(t)
+	for _, tc := range []struct{ method, path string }{
+		{"GET", "/query"},
+		{"GET", "/batch"},
+		{"POST", "/stats"},
+		{"DELETE", "/graphs"},
+	} {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader("{}"))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed && resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s %s: status %d", tc.method, tc.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestConcurrentQueriesSingleBuild(t *testing.T) {
+	ts := testServer(t)
+	registerGrid(t, ts, "grid", 400)
+
+	const parallel = 16
+	errc := make(chan error, parallel)
+	for i := 0; i < parallel; i++ {
+		go func() {
+			body := strings.NewReader(`{"graph":"grid","kind":"domset","r":2}`)
+			resp, err := http.Post(ts.URL+"/query", "application/json", body)
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+			errc <- err
+		}()
+	}
+	for i := 0; i < parallel; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var st engine.Stats
+	doJSON(t, "GET", ts.URL+"/stats", nil, &st)
+	if st.SubstrateBuilds != 2 { // order(2) + wcol(2,4), built once each
+		t.Fatalf("%d substrate builds for identical concurrent queries, want 2 (stats %+v)", st.SubstrateBuilds, st)
+	}
+}

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// substrateKind discriminates the cached substrate types.
+type substrateKind uint8
+
+const (
+	kindOrder substrateKind = iota // a *order.Order for radius A
+	kindWcol                       // wcol_B measured on the order for radius A
+	kindCover                      // a *coverSubstrate for radius A
+)
+
+func (k substrateKind) String() string {
+	switch k {
+	case kindOrder:
+		return "order"
+	case kindWcol:
+		return "wcol"
+	case kindCover:
+		return "cover"
+	default:
+		return "substrate(?)"
+	}
+}
+
+// substrateKey identifies one cached substrate: a graph generation (graphs
+// get a fresh generation on every (re-)registration and on mutation), the
+// substrate kind, and up to two integer parameters (see the kind constants).
+type substrateKey struct {
+	gen  uint64
+	kind substrateKind
+	a, b int
+}
+
+// substrateCache is an LRU-bounded cache with single-flight deduplication:
+// concurrent getOrBuild calls for the same key run the build function exactly
+// once; late callers wait for the in-flight build and share its result.
+type substrateCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[substrateKey]*list.Element
+	inflight map[substrateKey]*inflightBuild
+	// retired holds purged graph generations so that a build which finishes
+	// after its graph was removed or re-registered is handed to its waiters
+	// but not inserted into the cache (the generation can never be queried
+	// again, so the entry would only waste an LRU slot).
+	retired map[uint64]struct{}
+
+	// Counters (atomic; read by Engine.Stats).
+	hits      atomic.Uint64
+	misses    atomic.Uint64 // == number of builds started
+	coalesced atomic.Uint64 // callers that waited on an in-flight build
+	evictions atomic.Uint64
+	// buildNanos totals exclusive build time.  Builders report their own
+	// leaf work via timedBuild so that a build nested inside another (the
+	// order build underneath a wcol or cover build) is counted once.
+	buildNanos atomic.Int64
+}
+
+// timedBuild runs f and adds its duration to the exclusive build-time total.
+func (c *substrateCache) timedBuild(f func() any) any {
+	start := time.Now()
+	v := f()
+	c.buildNanos.Add(int64(time.Since(start)))
+	return v
+}
+
+type cacheEntry struct {
+	key substrateKey
+	val any
+}
+
+type inflightBuild struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newSubstrateCache(capacity int) *substrateCache {
+	return &substrateCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[substrateKey]*list.Element),
+		inflight: make(map[substrateKey]*inflightBuild),
+		retired:  make(map[uint64]struct{}),
+	}
+}
+
+// getOrBuild returns the cached value for key, building it with build on a
+// miss.  hit reports whether the value was served without running build in
+// this call (a fresh cache hit or a coalesced wait both count).  A caller
+// coalescing onto another query's in-flight build stops waiting when its ctx
+// expires (the build itself continues for the builder).  Errors are not
+// cached: a failed build leaves the key absent.
+func (c *substrateCache) getOrBuild(ctx context.Context, key substrateKey, build func() (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v, true, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		c.coalesced.Add(1)
+		return call.val, true, call.err
+	}
+	call := &inflightBuild{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	call.val, call.err = build()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if _, dead := c.retired[key.gen]; call.err == nil && !dead {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: call.val})
+		for c.ll.Len() > c.capacity {
+			back := c.ll.Back()
+			c.ll.Remove(back)
+			delete(c.items, back.Value.(*cacheEntry).key)
+			c.evictions.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.val, false, call.err
+}
+
+// purge drops every entry belonging to the given graph generation and
+// retires the generation (used when a graph is removed or re-registered
+// under the same name).
+func (c *substrateCache) purge(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.retired) >= 1<<16 {
+		// A retired generation costs 8 bytes forever; reset the set at an
+		// absurd size, re-accepting the one-dead-LRU-slot race it prevents.
+		c.retired = make(map[uint64]struct{})
+	}
+	c.retired[gen] = struct{}{}
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.gen == gen {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+		}
+		el = next
+	}
+}
+
+// clear drops every cached entry.  Used on engine Close, after the executor
+// has drained; like Close itself it must not race with in-flight queries.
+func (c *substrateCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[substrateKey]*list.Element)
+}
+
+// len returns the current number of cached entries.
+func (c *substrateCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

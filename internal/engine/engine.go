@@ -1,0 +1,380 @@
+// Package engine is the concurrent domination query engine: a graph
+// registry, an LRU-bounded substrate cache with single-flight deduplication,
+// and a worker-pool query executor with per-query timeouts and batching.
+//
+// The weak-reachability order is the one expensive, reusable substrate
+// behind all of the paper's pipelines (Amiri–Ossona de Mendez–Rabinovich–
+// Siebertz, SPAA 2018): for a fixed graph it stays valid across every query
+// with a compatible radius, the same observation that lets Kublenz–Siebertz–
+// Vigny (2021) treat the order as a precomputed object that many domination
+// queries then consume cheaply.  The engine amortizes substrate construction
+// (orders, wcol measurements, neighborhood covers) across queries: the first
+// query for a (graph, radius) pair pays for construction, concurrent
+// duplicates coalesce onto that build, and later queries reuse the cached
+// substrate until it ages out of the LRU.
+//
+// The public facade (api.go) routes its one-shot functions through a shared
+// default engine, and cmd/domserved exposes an engine over HTTP.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+	"weak"
+
+	"bedom/internal/dist"
+	"bedom/internal/graph"
+	"bedom/internal/order"
+)
+
+// Engine errors.
+var (
+	// ErrEngineClosed is returned by queries submitted after Close.
+	ErrEngineClosed = errors.New("engine: closed")
+	// ErrUnknownGraph is returned when a query names an unregistered graph.
+	ErrUnknownGraph = errors.New("engine: unknown graph")
+	// ErrInvalidRequest wraps malformed requests (bad kind, radius < 1, ...).
+	ErrInvalidRequest = errors.New("engine: invalid request")
+	// ErrNotConnected rejects connected-dominating-set queries on
+	// disconnected graphs.  It wraps ErrInvalidRequest.
+	ErrNotConnected = fmt.Errorf("%w: connected dominating sets require a connected graph", ErrInvalidRequest)
+)
+
+// Config tunes an Engine.  The zero value selects sensible defaults.
+type Config struct {
+	// CacheEntries bounds the number of cached substrates (LRU eviction).
+	// Default 128.
+	CacheEntries int
+	// Workers is the query-executor pool size.  Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds queued-but-unstarted queries.  Default 4·Workers.
+	QueueDepth int
+	// DefaultTimeout applies to queries that set no per-request timeout
+	// (0 = no timeout).
+	DefaultTimeout time.Duration
+}
+
+func (c Config) normalised() Config {
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	return c
+}
+
+// anonLimit bounds the anonymous-graph handle table of the facade path; when
+// exceeded the table is reset (old generations age out of the LRU).
+const anonLimit = 1024
+
+// graphEntry is a registered graph.
+type graphEntry struct {
+	name string
+	g    *graph.Graph
+	gen  uint64
+	n, m int
+}
+
+// GraphInfo describes a registered graph.
+type GraphInfo struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+}
+
+// Engine is a concurrent domination query engine.  All methods are safe for
+// concurrent use.  Close must not race with in-flight Do/Batch callers'
+// submissions (outstanding queries fail with ErrEngineClosed).
+type Engine struct {
+	cfg   Config
+	cache *substrateCache
+	exec  *executor
+	stats *statsCollector
+
+	mu      sync.Mutex
+	graphs  map[string]*graphEntry
+	anon    map[weak.Pointer[graph.Graph]]anonHandle
+	nextGen uint64
+}
+
+// anonHandle tracks the cache generation of a graph queried directly through
+// the facade path (no registry name).  The map key is a weak pointer, so the
+// engine never keeps a caller's graph alive (its cached substrates age out
+// of the LRU normally); weak pointers to distinct objects never compare
+// equal, so a recycled allocation cannot be matched to a stale generation.
+// The (n, m) snapshot detects mutation: edges can only be added, so m
+// strictly increases on any mutation and a stale handle is replaced by a
+// fresh generation.
+type anonHandle struct {
+	gen  uint64
+	n, m int
+}
+
+// New returns a ready engine.
+func New(cfg Config) *Engine {
+	cfg = cfg.normalised()
+	return &Engine{
+		cfg:    cfg,
+		cache:  newSubstrateCache(cfg.CacheEntries),
+		exec:   newExecutor(cfg.Workers, cfg.QueueDepth),
+		stats:  &statsCollector{},
+		graphs: make(map[string]*graphEntry),
+		anon:   make(map[weak.Pointer[graph.Graph]]anonHandle),
+	}
+}
+
+// Close shuts the query executor down and releases the substrate cache,
+// registry and anonymous-graph handles.  Queued queries fail with
+// ErrEngineClosed.  Releasing state matters because the GC cleanups
+// registered on anonymous graphs reference the engine: without it, a
+// discarded engine's cached substrates would stay reachable for as long as
+// any graph it ever served is alive.
+func (e *Engine) Close() {
+	e.exec.close()
+	e.cache.clear()
+	e.mu.Lock()
+	e.graphs = make(map[string]*graphEntry)
+	e.anon = make(map[weak.Pointer[graph.Graph]]anonHandle)
+	e.mu.Unlock()
+}
+
+// --- Graph registry -------------------------------------------------------
+
+// Register adds (or replaces) a named graph.  Replacing a name invalidates
+// every substrate cached for the previous graph.  The graph must not be
+// mutated after registration, and should be finalized (every constructor in
+// graph/gen finalizes; Register does not finalize itself because that would
+// mutate the caller's graph, racing with concurrent readers).
+func (e *Engine) Register(name string, g *graph.Graph) (GraphInfo, error) {
+	if name == "" {
+		return GraphInfo{}, fmt.Errorf("%w: empty graph name", ErrInvalidRequest)
+	}
+	if g == nil {
+		return GraphInfo{}, fmt.Errorf("%w: nil graph", ErrInvalidRequest)
+	}
+	e.mu.Lock()
+	if old, ok := e.graphs[name]; ok {
+		defer e.cache.purge(old.gen)
+	}
+	e.nextGen++
+	e.graphs[name] = &graphEntry{name: name, g: g, gen: e.nextGen, n: g.N(), m: g.M()}
+	e.mu.Unlock()
+	return GraphInfo{Name: name, N: g.N(), M: g.M()}, nil
+}
+
+// RegisterEdgeList reads a graph in the library's edge-list format (see
+// internal/graph.ReadEdgeList) and registers it under name.
+func (e *Engine) RegisterEdgeList(name string, r io.Reader) (GraphInfo, error) {
+	g, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return e.Register(name, g)
+}
+
+// Lookup returns the graph registered under name.
+func (e *Engine) Lookup(name string) (*graph.Graph, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.graphs[name]
+	if !ok {
+		return nil, false
+	}
+	return ent.g, true
+}
+
+// Remove unregisters name and purges its cached substrates.
+func (e *Engine) Remove(name string) bool {
+	e.mu.Lock()
+	ent, ok := e.graphs[name]
+	if ok {
+		delete(e.graphs, name)
+	}
+	e.mu.Unlock()
+	if ok {
+		e.cache.purge(ent.gen)
+	}
+	return ok
+}
+
+// GraphCount returns the number of registered graphs (cheaper than Graphs
+// for liveness probes).
+func (e *Engine) GraphCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.graphs)
+}
+
+// Graphs lists the registered graphs sorted by name.
+func (e *Engine) Graphs() []GraphInfo {
+	e.mu.Lock()
+	out := make([]GraphInfo, 0, len(e.graphs))
+	for _, ent := range e.graphs {
+		out = append(out, GraphInfo{Name: ent.name, N: ent.n, M: ent.m})
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// resolve maps a request to its graph and cache generation.
+func (e *Engine) resolve(req Request) (*graph.Graph, uint64, error) {
+	if req.G != nil {
+		return req.G, e.handleFor(req.G), nil
+	}
+	e.mu.Lock()
+	ent, ok := e.graphs[req.Graph]
+	e.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownGraph, req.Graph)
+	}
+	return ent.g, ent.gen, nil
+}
+
+// handleFor assigns a cache generation to an unregistered graph queried by
+// pointer (the facade path); the (n, m) snapshot retires the generation if
+// the graph was mutated (see anonHandle).
+func (e *Engine) handleFor(g *graph.Graph) uint64 {
+	wp := weak.Make(g)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h, existed := e.anon[wp]
+	if existed && h.n == g.N() && h.m == g.M() {
+		return h.gen
+	}
+	if existed {
+		// The graph was mutated: its old substrates can never be served again
+		// (this generation is never handed out anymore), so drop them now.
+		defer e.cache.purge(h.gen)
+	}
+	if len(e.anon) >= anonLimit {
+		// Drop entries whose graphs have been collected; reset wholesale if
+		// the table is full of live ones.  Every dropped handle's generation
+		// is purged here — its graph's GC cleanup finds no handle anymore and
+		// would otherwise leave the substrates orphaned in the LRU.
+		for k, h := range e.anon {
+			if k.Value() == nil {
+				delete(e.anon, k)
+				e.cache.purge(h.gen)
+			}
+		}
+		if len(e.anon) >= anonLimit {
+			for _, h := range e.anon {
+				e.cache.purge(h.gen)
+			}
+			e.anon = make(map[weak.Pointer[graph.Graph]]anonHandle)
+			existed = false
+		}
+	}
+	e.nextGen++
+	gen := e.nextGen
+	e.anon[wp] = anonHandle{gen: gen, n: g.N(), m: g.M()}
+	if !existed {
+		// When the graph is collected, release its cached substrates instead
+		// of letting dead entries occupy LRU slots until capacity churn
+		// evicts them.  One cleanup per graph object: it reads the handle's
+		// generation at collection time, so mutation-triggered re-generations
+		// (purged eagerly above) do not stack additional cleanups.  The
+		// closure must not (and does not) keep g reachable: it captures only
+		// the weak pointer and the engine.
+		runtime.AddCleanup(g, func(wp weak.Pointer[graph.Graph]) {
+			e.mu.Lock()
+			h, ok := e.anon[wp]
+			if ok {
+				delete(e.anon, wp)
+			}
+			e.mu.Unlock()
+			if ok {
+				e.cache.purge(h.gen)
+			}
+		}, wp)
+	}
+	return gen
+}
+
+// --- Substrate accessors --------------------------------------------------
+
+// OrderFor returns the (cached) weak-reachability order for radius r,
+// constructed exactly as the facade's BuildOrder: order.ConstructDefault.
+// hit reports whether the order was served from cache.
+func (e *Engine) OrderFor(g *graph.Graph, r int) (*order.Order, bool, error) {
+	return e.orderFor(context.Background(), g, e.handleFor(g), r)
+}
+
+func (e *Engine) orderFor(ctx context.Context, g *graph.Graph, gen uint64, r int) (*order.Order, bool, error) {
+	v, hit, err := e.cache.getOrBuild(ctx, substrateKey{gen: gen, kind: kindOrder, a: r}, func() (any, error) {
+		return e.cache.timedBuild(func() any { return order.ConstructDefault(g, r) }), nil
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*order.Order), hit, nil
+}
+
+// wcolFor returns the (cached) measured wcol_s of the order for radius
+// orderR.  Building it reuses (or builds) the cached order.  The nested
+// fetch runs detached from the requester's context: a build is shared work —
+// if it adopted one requester's deadline, that requester's timeout would be
+// recorded as the build's error and handed to every coalesced waiter.
+func (e *Engine) wcolFor(ctx context.Context, g *graph.Graph, gen uint64, orderR, s int) (int, bool, error) {
+	v, hit, err := e.cache.getOrBuild(ctx, substrateKey{gen: gen, kind: kindWcol, a: orderR, b: s}, func() (any, error) {
+		o, _, err := e.orderFor(context.Background(), g, gen, orderR)
+		if err != nil {
+			return nil, err
+		}
+		return e.cache.timedBuild(func() any { return order.WColMeasure(g, o, s) }), nil
+	})
+	if err != nil {
+		return 0, hit, err
+	}
+	return v.(int), hit, nil
+}
+
+// Model re-exports dist.Model so that callers of the engine's Request do not
+// need to import internal/dist alongside.
+type Model = dist.Model
+
+// Communication models (mirrors the facade constants).
+const (
+	Local     = dist.Local
+	Congest   = dist.Congest
+	CongestBC = dist.CongestBC
+)
+
+// ParseModel maps a case-insensitive model name ("local", "congest",
+// "congest_bc"/"congestbc") to a Model.
+func ParseModel(s string) (Model, error) {
+	switch {
+	case strings.EqualFold(s, "local"):
+		return Local, nil
+	case strings.EqualFold(s, "congest"):
+		return Congest, nil
+	case strings.EqualFold(s, "congest_bc"), strings.EqualFold(s, "congestbc"):
+		return CongestBC, nil
+	default:
+		return Local, fmt.Errorf("%w: unknown model %q", ErrInvalidRequest, s)
+	}
+}
+
+// withTimeout applies the request (or engine default) timeout to ctx.
+func (e *Engine) withTimeout(ctx context.Context, req Request) (context.Context, context.CancelFunc) {
+	d := req.Timeout
+	if d <= 0 {
+		d = e.cfg.DefaultTimeout
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+// executor is a fixed-size worker pool.  Queries are submitted as closures
+// and executed by the next free worker; submitters block until their task
+// finishes, their context expires, or the executor shuts down.  A task whose
+// context is already done when a worker picks it up is skipped, so queued
+// queries that timed out waiting for a slot do not burn worker time.
+type executor struct {
+	tasks  chan *task
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed sync.Once
+}
+
+type task struct {
+	ctx      context.Context
+	fn       func()
+	err      error
+	finished chan struct{}
+}
+
+func newExecutor(workers, queueDepth int) *executor {
+	x := &executor{
+		tasks: make(chan *task, queueDepth),
+		quit:  make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		x.wg.Add(1)
+		go x.worker()
+	}
+	return x
+}
+
+func (x *executor) worker() {
+	defer x.wg.Done()
+	for {
+		select {
+		case <-x.quit:
+			return
+		case t := <-x.tasks:
+			if err := t.ctx.Err(); err != nil {
+				t.err = err
+			} else {
+				t.fn()
+			}
+			close(t.finished)
+		}
+	}
+}
+
+// submit runs fn on a pool worker and blocks until it completes.  A non-nil
+// return means fn did not run to completion on behalf of this caller: the
+// context expired (waiting for a slot or mid-run; the worker finishes the
+// task, the result is abandoned) or the executor was closed.
+func (x *executor) submit(ctx context.Context, fn func()) error {
+	t := &task{ctx: ctx, fn: fn, finished: make(chan struct{})}
+	select {
+	case x.tasks <- t:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-x.quit:
+		return ErrEngineClosed
+	}
+	select {
+	case <-t.finished:
+		return t.err
+	case <-ctx.Done():
+		// Prefer a completed task over a simultaneous deadline: the result
+		// exists, so don't discard it as a timeout.
+		select {
+		case <-t.finished:
+			return t.err
+		default:
+			return ctx.Err()
+		}
+	case <-x.quit:
+		// Prefer a completed task over the shutdown signal.
+		select {
+		case <-t.finished:
+			return t.err
+		default:
+			return ErrEngineClosed
+		}
+	}
+}
+
+// close stops the workers after their current task and fails any queued
+// tasks.  Concurrent submit calls return ErrEngineClosed.
+func (x *executor) close() {
+	x.closed.Do(func() {
+		close(x.quit)
+		x.wg.Wait()
+		for {
+			select {
+			case t := <-x.tasks:
+				t.err = ErrEngineClosed
+				close(t.finished)
+			default:
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,346 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bedom/internal/connect"
+	"bedom/internal/cover"
+	"bedom/internal/dist"
+	"bedom/internal/distalgo"
+	"bedom/internal/domset"
+	"bedom/internal/graph"
+)
+
+// Kind selects the query pipeline.
+type Kind string
+
+// Query kinds.  The sequential kinds reproduce the facade pipelines
+// bit-for-bit (same substrates, same algorithms); the distributed kinds run
+// the simulator-backed pipelines of Theorems 9/10.
+const (
+	// KindDominatingSet is the sequential Theorem 5 pipeline.
+	KindDominatingSet Kind = "domset"
+	// KindConnectedDominatingSet is the sequential Corollary 13 pipeline.
+	KindConnectedDominatingSet Kind = "cds"
+	// KindCover is the sparse r-neighborhood cover of Theorem 4.
+	KindCover Kind = "cover"
+	// KindGreedy is the classical ln(n)-approximation baseline.
+	KindGreedy Kind = "greedy"
+	// KindDistributedDominatingSet is the simulator-backed Theorem 9 pipeline.
+	KindDistributedDominatingSet Kind = "dist-domset"
+	// KindDistributedConnected is the simulator-backed Theorem 10 pipeline.
+	KindDistributedConnected Kind = "dist-cds"
+)
+
+// Kinds lists the supported query kinds.
+func Kinds() []Kind {
+	return []Kind{
+		KindDominatingSet, KindConnectedDominatingSet, KindCover,
+		KindGreedy, KindDistributedDominatingSet, KindDistributedConnected,
+	}
+}
+
+// Request describes one domination query.
+type Request struct {
+	// Graph names a registered graph.  Ignored when G is set.
+	Graph string `json:"graph,omitempty"`
+	// G queries an unregistered graph directly (the facade path).  The graph
+	// must not be mutated concurrently with the query.
+	G *graph.Graph `json:"-"`
+	// Kind selects the pipeline.
+	Kind Kind `json:"kind"`
+	// R is the domination / covering radius (≥ 1).
+	R int `json:"r"`
+	// Timeout bounds this query (0 = the engine's DefaultTimeout).
+	Timeout time.Duration `json:"-"`
+
+	// Distributed-kind tuning (ignored by sequential kinds).
+
+	// Model is the communication model (default for the zero value: the
+	// paper's CONGEST_BC).
+	Model Model `json:"-"`
+	// ModelSet marks Model as explicit, allowing LOCAL to be requested.
+	ModelSet bool `json:"-"`
+	// SimWorkers bounds simulator goroutines per round (0 = GOMAXPROCS).
+	SimWorkers int `json:"-"`
+	// MaxRounds aborts runaway protocols (0 = generous default).
+	MaxRounds int `json:"-"`
+	// RefinedOrder selects the refined distributed order pipeline.
+	RefinedOrder bool `json:"-"`
+	// IncludeClusters attaches the full cluster map to cover responses
+	// (potentially large; off by default).
+	IncludeClusters bool `json:"-"`
+}
+
+func (r Request) model() Model {
+	if r.ModelSet {
+		return r.Model
+	}
+	return CongestBC
+}
+
+func (r Request) simOptions() dist.Options {
+	return dist.Options{Workers: r.SimWorkers, MaxRounds: r.MaxRounds}
+}
+
+// Response is the outcome of a query.
+type Response struct {
+	// Graph echoes the registered name ("" for direct-graph queries).
+	Graph string `json:"graph,omitempty"`
+	// Kind and R echo the request.
+	Kind Kind `json:"kind"`
+	R    int  `json:"r"`
+
+	// Set is the computed (connected) dominating set (nil for cover queries).
+	Set []int `json:"set,omitempty"`
+	// Size is len(Set), or the number of clusters for cover queries.
+	Size int `json:"size"`
+	// LowerBound is the certified lower bound on the optimum (sequential
+	// domination kinds).
+	LowerBound int `json:"lower_bound,omitempty"`
+	// Wcol is the measured weak colouring number backing the approximation
+	// guarantee (sequential domination kinds).
+	Wcol int `json:"wcol,omitempty"`
+
+	// DomSet is, for connected kinds, the underlying plain dominating set.
+	DomSet []int `json:"dom_set,omitempty"`
+
+	// Cover statistics (cover queries only).
+	CoverDegree    int `json:"cover_degree,omitempty"`
+	CoverMaxRadius int `json:"cover_max_radius,omitempty"`
+	// Clusters maps cluster centers to cluster vertex sets; only populated
+	// for cover queries with IncludeClusters.  The map is shared with the
+	// substrate cache and must not be mutated (the facade copies it).
+	Clusters map[int][]int `json:"clusters,omitempty"`
+
+	// Simulator cost (distributed kinds only).
+	Rounds          int   `json:"rounds,omitempty"`
+	Messages        int64 `json:"messages,omitempty"`
+	MaxMessageWords int   `json:"max_message_words,omitempty"`
+
+	// CacheHit reports whether every substrate this query needed was served
+	// from the cache (including coalescing onto a concurrent build).
+	CacheHit bool `json:"cache_hit"`
+	// ElapsedMS is the query's wall-clock execution time in milliseconds
+	// (excluding time spent queued for a worker).
+	ElapsedMS float64 `json:"elapsed_ms"`
+
+	coverRef *cover.Cover
+}
+
+// CoverData returns the underlying cover structure of a cover query.  The
+// structure is shared with the substrate cache and must not be mutated.
+func (r *Response) CoverData() *cover.Cover { return r.coverRef }
+
+// Do executes one query on the worker pool and blocks until it completes,
+// the (request or engine default) timeout expires, or ctx is cancelled.
+func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
+	if err := e.validate(req); err != nil {
+		e.stats.errors.Add(1)
+		return nil, err
+	}
+	g, gen, err := e.resolve(req)
+	if err != nil {
+		e.stats.errors.Add(1)
+		return nil, err
+	}
+	ctx, cancel := e.withTimeout(ctx, req)
+	defer cancel()
+
+	var resp *Response
+	var qerr error
+	err = e.exec.submit(ctx, func() {
+		start := time.Now()
+		resp, qerr = e.run(ctx, req, g, gen)
+		elapsed := time.Since(start)
+		e.stats.queryNanos.Add(int64(elapsed))
+		if resp != nil {
+			resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+		}
+	})
+	e.stats.queries.Add(1)
+	e.stats.countKind(req.Kind)
+	if err == nil {
+		err = qerr
+	}
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			e.stats.timeouts.Add(1)
+		}
+		e.stats.errors.Add(1)
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (e *Engine) validate(req Request) error {
+	if req.R < 1 {
+		return fmt.Errorf("%w: radius must be ≥ 1, got %d", ErrInvalidRequest, req.R)
+	}
+	if req.G == nil && req.Graph == "" {
+		return fmt.Errorf("%w: no graph given", ErrInvalidRequest)
+	}
+	switch req.Kind {
+	case KindDominatingSet, KindConnectedDominatingSet, KindCover, KindGreedy,
+		KindDistributedDominatingSet, KindDistributedConnected:
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown kind %q", ErrInvalidRequest, req.Kind)
+	}
+}
+
+// run executes the query pipeline on the calling (worker) goroutine.  The
+// individual stages are not interruptible, but a cancelled or timed-out
+// context is observed at every stage boundary so an abandoned query releases
+// its worker as early as possible.
+func (e *Engine) run(ctx context.Context, req Request, g *graph.Graph, gen uint64) (*Response, error) {
+	resp := &Response{Graph: req.Graph, Kind: req.Kind, R: req.R}
+	switch req.Kind {
+	case KindDominatingSet:
+		o, hitO, err := e.orderFor(ctx, g, gen, req.R)
+		if err != nil {
+			return nil, err
+		}
+		wcol, hitW, err := e.wcolFor(ctx, g, gen, req.R, 2*req.R)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		D := domset.AlgorithmOne(g, o, req.R)
+		resp.Set = D
+		resp.Size = len(D)
+		resp.LowerBound = domset.ScatteredLowerBound(g, req.R, D)
+		resp.Wcol = wcol
+		resp.CacheHit = hitO && hitW
+
+	case KindConnectedDominatingSet:
+		if !g.IsConnected() {
+			return nil, ErrNotConnected
+		}
+		o, hitO, err := e.orderFor(ctx, g, gen, 2*req.R+1)
+		if err != nil {
+			return nil, err
+		}
+		wcol, hitW, err := e.wcolFor(ctx, g, gen, 2*req.R+1, 2*req.R+1)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		D := domset.AlgorithmOne(g, o, req.R)
+		resp.DomSet = D
+		resp.Set = connect.Closure(g, o, D, req.R)
+		resp.Size = len(resp.Set)
+		resp.LowerBound = domset.ScatteredLowerBound(g, req.R, D)
+		resp.Wcol = wcol
+		resp.CacheHit = hitO && hitW
+
+	case KindCover:
+		cs, hit, err := e.coverFor(ctx, g, gen, req.R)
+		if err != nil {
+			return nil, err
+		}
+		resp.Size = cs.stats.NumClusters
+		resp.CoverDegree = cs.stats.Degree
+		resp.CoverMaxRadius = cs.stats.MaxRadius
+		resp.CacheHit = hit
+		resp.coverRef = cs.cover
+		if req.IncludeClusters {
+			resp.Clusters = cs.cover.Clusters
+		}
+
+	case KindGreedy:
+		D := domset.Greedy(g, req.R)
+		resp.Set = D
+		resp.Size = len(D)
+		resp.LowerBound = domset.ScatteredLowerBound(g, req.R, D)
+		resp.CacheHit = true // no substrate needed
+
+	case KindDistributedDominatingSet:
+		run := distalgo.RunDomSet
+		if req.RefinedOrder {
+			run = distalgo.RunDomSetRefined
+		}
+		res, err := run(g, req.R, req.model(), req.simOptions())
+		if err != nil {
+			return nil, err
+		}
+		resp.Set = res.Set
+		resp.DomSet = res.Set
+		resp.Size = len(res.Set)
+		resp.Rounds = res.Stats.Rounds
+		resp.Messages = res.Stats.Messages
+		resp.MaxMessageWords = res.Stats.MaxMessageWords
+
+	case KindDistributedConnected:
+		res, err := distalgo.RunConnectedDomSet(g, req.R, req.model(), req.simOptions())
+		if err != nil {
+			return nil, err
+		}
+		resp.Set = res.Set
+		resp.DomSet = res.DomSet
+		resp.Size = len(res.Set)
+		resp.Rounds = res.Stats.Rounds
+		resp.Messages = res.Stats.Messages
+		resp.MaxMessageWords = res.Stats.MaxMessageWords
+	}
+	return resp, nil
+}
+
+// coverSubstrate is the cached cover together with its measured statistics
+// (statistics are computed once at build time; they are part of the
+// substrate so that repeated cover queries skip the eccentricity sweeps).
+type coverSubstrate struct {
+	cover *cover.Cover
+	stats cover.Stats
+}
+
+func (e *Engine) coverFor(ctx context.Context, g *graph.Graph, gen uint64, r int) (*coverSubstrate, bool, error) {
+	v, hit, err := e.cache.getOrBuild(ctx, substrateKey{gen: gen, kind: kindCover, a: r}, func() (any, error) {
+		// Detached context: see wcolFor — a shared build must not inherit one
+		// requester's deadline.
+		o, _, err := e.orderFor(context.Background(), g, gen, r)
+		if err != nil {
+			return nil, err
+		}
+		return e.cache.timedBuild(func() any {
+			c := cover.Build(g, o, r)
+			return &coverSubstrate{cover: c, stats: c.ComputeStats(g)}
+		}), nil
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*coverSubstrate), hit, nil
+}
+
+// BatchResult pairs one batch entry's response with its error.
+type BatchResult struct {
+	Response *Response
+	Err      error
+}
+
+// Batch fans the requests across the worker pool and waits for all of them.
+// Results keep the request order; each entry fails or succeeds on its own.
+// Identical concurrent entries share substrate builds via single-flight.
+func (e *Engine) Batch(ctx context.Context, reqs []Request) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			resp, err := e.Do(ctx, req)
+			out[i] = BatchResult{Response: resp, Err: err}
+		}(i, req)
+	}
+	wg.Wait()
+	return out
+}

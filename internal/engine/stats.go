@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// statsCollector accumulates engine-level counters (cache counters live on
+// the substrateCache itself).
+type statsCollector struct {
+	queries    atomic.Uint64
+	errors     atomic.Uint64
+	timeouts   atomic.Uint64
+	queryNanos atomic.Int64
+
+	mu      sync.Mutex
+	perKind map[Kind]uint64
+}
+
+func (s *statsCollector) countKind(k Kind) {
+	s.mu.Lock()
+	if s.perKind == nil {
+		s.perKind = make(map[Kind]uint64)
+	}
+	s.perKind[k]++
+	s.mu.Unlock()
+}
+
+// KindCount is the number of queries served for one kind.
+type KindCount struct {
+	Kind  Kind   `json:"kind"`
+	Count uint64 `json:"count"`
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	// Graphs is the number of registered graphs.
+	Graphs int `json:"graphs"`
+
+	// Substrate cache.
+	CacheEntries  int    `json:"cache_entries"`
+	CacheCapacity int    `json:"cache_capacity"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	// Coalesced counts queries that waited on a concurrent build of the same
+	// substrate instead of building their own (single-flight).
+	Coalesced uint64 `json:"coalesced"`
+	Evictions uint64 `json:"evictions"`
+	// SubstrateBuilds is the number of substrate constructions actually
+	// performed (== CacheMisses; kept explicit for the tests' contract).
+	SubstrateBuilds uint64 `json:"substrate_builds"`
+	// BuildMSTotal is the total wall-clock time spent building substrates.
+	BuildMSTotal float64 `json:"build_ms_total"`
+
+	// Query executor.
+	Queries  uint64 `json:"queries"`
+	Errors   uint64 `json:"errors"`
+	Timeouts uint64 `json:"timeouts"`
+	// QueryMSTotal is the total wall-clock time spent executing queries
+	// (excluding queueing).
+	QueryMSTotal float64     `json:"query_ms_total"`
+	PerKind      []KindCount `json:"per_kind,omitempty"`
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	graphs := len(e.graphs)
+	e.mu.Unlock()
+	misses := e.cache.misses.Load()
+	st := Stats{
+		Graphs:          graphs,
+		CacheEntries:    e.cache.len(),
+		CacheCapacity:   e.cache.capacity,
+		CacheHits:       e.cache.hits.Load(),
+		CacheMisses:     misses,
+		Coalesced:       e.cache.coalesced.Load(),
+		Evictions:       e.cache.evictions.Load(),
+		SubstrateBuilds: misses,
+		BuildMSTotal:    float64(e.cache.buildNanos.Load()) / 1e6,
+		Queries:         e.stats.queries.Load(),
+		Errors:          e.stats.errors.Load(),
+		Timeouts:        e.stats.timeouts.Load(),
+		QueryMSTotal:    float64(e.stats.queryNanos.Load()) / 1e6,
+	}
+	e.stats.mu.Lock()
+	for k, c := range e.stats.perKind {
+		st.PerKind = append(st.PerKind, KindCount{Kind: k, Count: c})
+	}
+	e.stats.mu.Unlock()
+	sort.Slice(st.PerKind, func(i, j int) bool { return st.PerKind[i].Kind < st.PerKind[j].Kind })
+	return st
+}

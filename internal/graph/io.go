@@ -31,6 +31,14 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // ReadEdgeList parses a graph in the format produced by WriteEdgeList.
 // Blank lines and lines starting with '#' or '%' are ignored.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return ReadEdgeListLimit(r, 0)
+}
+
+// ReadEdgeListLimit is ReadEdgeList with a bound on the declared vertex
+// count (0 = unlimited).  The bound is checked before the O(n) adjacency
+// table is allocated, so servers can reject a tiny document that declares an
+// enormous n without paying for it.
+func ReadEdgeListLimit(r io.Reader, maxVertices int) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
 	var g *Graph
@@ -49,6 +57,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			n, err := strconv.Atoi(fields[0])
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", line, fields[0])
+			}
+			if maxVertices > 0 && n > maxVertices {
+				return nil, fmt.Errorf("graph: line %d: vertex count %d exceeds the limit %d", line, n, maxVertices)
 			}
 			g = New(n)
 			continue

@@ -64,6 +64,21 @@ func TestReadEdgeListErrors(t *testing.T) {
 	}
 }
 
+func TestReadEdgeListLimit(t *testing.T) {
+	// The bound applies to the declared n, before any allocation.
+	if _, err := ReadEdgeListLimit(strings.NewReader("999999999999 0\n"), 1000); err == nil {
+		t.Fatal("over-limit vertex count must be rejected")
+	}
+	g, err := ReadEdgeListLimit(strings.NewReader("3 1\n0 1\n"), 1000)
+	if err != nil || g.N() != 3 {
+		t.Fatalf("within-limit parse: %v %v", g, err)
+	}
+	// Limit 0 means unlimited.
+	if _, err := ReadEdgeListLimit(strings.NewReader("2000 0\n"), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestWriteEdgeListHeaderOnly(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteEdgeList(&buf, New(3)); err != nil {
