@@ -76,6 +76,16 @@ const (
 	CONGESTBC = dist.CongestBC
 )
 
+// SetSubstrateWorkers bounds the number of goroutines the default engine
+// uses inside one substrate build (order augmentation scans, parallel
+// weak-reachability sweeps, cover inversion).  0 restores the default
+// (GOMAXPROCS).  Substrate outputs are bit-identical for every worker
+// count — the knob only trades build latency against CPU share, so it is
+// safe to change at any time.
+func SetSubstrateWorkers(workers int) {
+	defaultEngine().SetSubstrateWorkers(workers)
+}
+
 // NewGraph returns an empty graph on n vertices.
 func NewGraph(n int) *Graph { return graph.New(n) }
 
@@ -220,9 +230,9 @@ func NeighborhoodCover(g *Graph, r int) (CoverResult, error) {
 		return CoverResult{}, err
 	}
 	c := resp.CoverData()
-	clusters := make(map[int][]int, len(c.Clusters))
-	for center, members := range c.Clusters {
-		clusters[center] = append([]int(nil), members...)
+	clusters := make(map[int][]int, c.NumClusters())
+	for _, center := range c.Centers() {
+		clusters[center] = append([]int(nil), c.Cluster(center)...)
 	}
 	return CoverResult{R: r, Clusters: clusters, Degree: resp.CoverDegree, MaxRadius: resp.CoverMaxRadius}, nil
 }

@@ -7,9 +7,11 @@ package bedom
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"bedom/internal/connect"
+	"bedom/internal/cover"
 	"bedom/internal/dist"
 	"bedom/internal/distalgo"
 	"bedom/internal/domset"
@@ -82,23 +84,84 @@ func BenchmarkE8AugmentationAblation(b *testing.B) {
 
 func benchGraph() *graph.Graph { return gen.Grid(64, 64) } // 4096 vertices
 
+// benchWorkerCounts is the worker sweep of the substrate micro-benchmarks;
+// outputs are bit-identical across the sweep (asserted by the determinism
+// tests), so the sub-benchmarks measure pure scaling.
+var benchWorkerCounts = []int{1, 2, 4, 8}
+
 func BenchmarkOrderConstruct(b *testing.B) {
 	g := benchGraph()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = order.ConstructDefault(g, 2)
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := order.DefaultOptions(2)
+			opts.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = order.Construct(g, opts)
+			}
+		})
 	}
 }
 
 func BenchmarkWReachSets(b *testing.B) {
 	g := benchGraph()
 	o := order.ConstructDefault(g, 2)
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = order.WReachSetsWorkers(g, o, 4, workers)
+			}
+		})
+	}
+}
+
+func BenchmarkCoverBuild(b *testing.B) {
+	g := benchGraph()
+	const r = 2
+	o := order.ConstructDefault(g, r)
+	sets2r := order.WReachSets(g, o, 2*r)
+	setsR := order.WReachSets(g, o, r)
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := cover.BuildFromSets(g, r, setsR, sets2r, workers)
+				if c.NumClusters() == 0 {
+					b.Fatal("empty cover")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGraphFinalize(b *testing.B) {
+	edges := benchGraph().Edges()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = order.WReachSets(g, o, 4)
+		g := graph.New(4096)
+		for _, e := range edges {
+			if err := g.AddEdgeLazy(e[0], e[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		g.Finalize()
 	}
+}
+
+func BenchmarkGraphHasEdge(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		v := i % 4096
+		if g.HasEdge(v, (v+1)%4096) {
+			hits++
+		}
+	}
+	_ = hits
 }
 
 func BenchmarkAlgorithmOneSequential(b *testing.B) {

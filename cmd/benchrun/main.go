@@ -6,23 +6,39 @@
 //	benchrun                    # full suite, plain-text tables
 //	benchrun -quick             # reduced workload (seconds instead of minutes)
 //	benchrun -markdown          # markdown tables (used to update EXPERIMENTS.md)
+//	benchrun -json              # one JSON document (perf-trajectory snapshots)
 //	benchrun -exp E3,E7         # selected experiments only
 //	benchrun -n 4000 -seed 3    # override workload size / seed
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"bedom/internal/exp"
 )
+
+// snapshot is the JSON document emitted by -json: enough provenance to
+// compare perf trajectories across PRs (CI writes one per run).
+type snapshot struct {
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Quick       bool         `json:"quick"`
+	Config      exp.Config   `json:"config"`
+	Tables      []*exp.Table `json:"tables"`
+}
 
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "use a reduced workload")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		jsonOut  = flag.Bool("json", false, "emit one JSON document with all tables")
 		only     = flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
 		n        = flag.Int("n", 0, "override the default graph size")
 		seed     = flag.Int64("seed", 0, "override the random seed")
@@ -47,6 +63,7 @@ func main() {
 		}
 	}
 
+	var tables []*exp.Table
 	ran := 0
 	for _, e := range exp.All() {
 		if len(selected) > 0 && !selected[e.ID] {
@@ -54,9 +71,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "running %s — %s ...\n", e.ID, e.Title)
 		tbl := e.Run(cfg)
-		if *markdown {
+		switch {
+		case *jsonOut:
+			tables = append(tables, tbl)
+		case *markdown:
 			fmt.Print(tbl.Markdown())
-		} else {
+		default:
 			fmt.Println(tbl.Format())
 		}
 		ran++
@@ -64,5 +84,20 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "benchrun: no experiments matched", *only)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snapshot{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Quick:       *quick,
+			Config:      cfg,
+			Tables:      tables,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
 	}
 }

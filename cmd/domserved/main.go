@@ -48,14 +48,16 @@ func main() {
 		workers = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", 0, "queued-query bound (0 = 4×workers)")
 		timeout = flag.Duration("timeout", 0, "default per-query timeout (0 = none)")
+		subWkrs = flag.Int("substrate-workers", 0, "goroutines per substrate build (0 = GOMAXPROCS; outputs are identical for any value)")
 	)
 	flag.Parse()
 
 	eng := engine.New(engine.Config{
-		CacheEntries:   *cache,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
+		CacheEntries:     *cache,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		DefaultTimeout:   *timeout,
+		SubstrateWorkers: *subWkrs,
 	})
 
 	srv := &http.Server{

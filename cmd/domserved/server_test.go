@@ -337,7 +337,7 @@ func TestConcurrentQueriesSingleBuild(t *testing.T) {
 	}
 	var st engine.Stats
 	doJSON(t, "GET", ts.URL+"/stats", nil, &st)
-	if st.SubstrateBuilds != 2 { // order(2) + wcol(2,4), built once each
+	if st.SubstrateBuilds != 2 { // order(2) + wreach(2,4), built once each
 		t.Fatalf("%d substrate builds for identical concurrent queries, want 2 (stats %+v)", st.SubstrateBuilds, st)
 	}
 }

@@ -1,6 +1,7 @@
 package cover
 
 import (
+	"reflect"
 	"testing"
 
 	"bedom/internal/gen"
@@ -70,7 +71,7 @@ func TestCoverHomeClusterContainsBall(t *testing.T) {
 	for w := 0; w < g.N(); w++ {
 		home := c.Home[w]
 		members := map[int]bool{}
-		for _, x := range c.Clusters[home] {
+		for _, x := range c.Cluster(home) {
 			members[x] = true
 		}
 		for _, x := range g.Ball(w, r) {
@@ -87,7 +88,7 @@ func TestCoverMemberships(t *testing.T) {
 	for w := 0; w < g.N(); w++ {
 		for _, center := range c.Memberships(w) {
 			found := false
-			for _, x := range c.Clusters[center] {
+			for _, x := range c.Cluster(center) {
 				if x == w {
 					found = true
 					break
@@ -98,7 +99,7 @@ func TestCoverMemberships(t *testing.T) {
 			}
 		}
 	}
-	if c.NumClusters() != len(c.Clusters) {
+	if c.NumClusters() != len(c.Centers()) || c.NumClusters() != len(c.ClusterMap()) {
 		t.Fatal("NumClusters mismatch")
 	}
 }
@@ -109,27 +110,16 @@ func TestCoverVerifyDetectsCorruption(t *testing.T) {
 	c := Build(g, o, 1)
 	// Corrupt: remove a vertex from its home cluster.
 	w := 12
-	home := c.Home[w]
-	cluster := c.Clusters[home]
-	var trimmed []int
-	for _, x := range cluster {
-		if x != w {
-			trimmed = append(trimmed, x)
-		}
-	}
-	c.Clusters[home] = trimmed
-	// Also remove it from every other cluster so the fallback scan fails too.
-	for center, cl := range c.Clusters {
-		if center == home {
-			continue
-		}
+	// Remove w from every cluster so the Home check and the fallback scan
+	// both fail.
+	for _, center := range c.Centers() {
 		var t2 []int
-		for _, x := range cl {
+		for _, x := range c.clusters[center] {
 			if x != w {
 				t2 = append(t2, x)
 			}
 		}
-		c.Clusters[center] = t2
+		c.clusters[center] = t2
 	}
 	if err := c.Verify(g); err == nil {
 		t.Fatal("corrupted cover passed verification")
@@ -150,5 +140,80 @@ func TestCoverSingleVertexAndDisconnected(t *testing.T) {
 	}
 	if ch.Degree() < 1 {
 		t.Fatal("degree should be at least 1")
+	}
+}
+
+// TestBuildFromSetsWorkersDeterminism asserts the sharded cover inversion
+// is byte-identical for every worker count (the same contract the dist and
+// order packages enforce for their parallel phases).
+func TestBuildFromSetsWorkersDeterminism(t *testing.T) {
+	g := gen.Grid(20, 20) // above the parallel threshold
+	r := 2
+	o := order.ConstructDefault(g, r)
+	sets2r := order.WReachSets(g, o, 2*r)
+	setsR := order.WReachSets(g, o, r)
+	base := BuildFromSets(g, r, setsR, sets2r, 1)
+	if err := base.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		c := BuildFromSets(g, r, setsR, sets2r, workers)
+		if !reflect.DeepEqual(base.Home, c.Home) {
+			t.Fatalf("workers=%d: Home differs", workers)
+		}
+		if !reflect.DeepEqual(base.Centers(), c.Centers()) {
+			t.Fatalf("workers=%d: centers differ", workers)
+		}
+		for _, center := range base.Centers() {
+			if !reflect.DeepEqual(base.Cluster(center), c.Cluster(center)) {
+				t.Fatalf("workers=%d: cluster %d differs", workers, center)
+			}
+		}
+		for w := 0; w < g.N(); w++ {
+			if !reflect.DeepEqual(base.Memberships(w), c.Memberships(w)) {
+				t.Fatalf("workers=%d: memberships of %d differ", workers, w)
+			}
+		}
+	}
+}
+
+// TestBuildMatchesBuildFromSets asserts the convenience wrapper and the
+// sets-reusing constructor agree.
+func TestBuildMatchesBuildFromSets(t *testing.T) {
+	g := gen.Apollonian(300, 9)
+	r := 1
+	o := order.ConstructDefault(g, r)
+	a := Build(g, o, r)
+	b := BuildFromSets(g, r, order.WReachSets(g, o, r), order.WReachSets(g, o, 2*r), 4)
+	if !reflect.DeepEqual(a.Home, b.Home) || !reflect.DeepEqual(a.Centers(), b.Centers()) {
+		t.Fatal("Build and BuildFromSets disagree")
+	}
+	for _, center := range a.Centers() {
+		if !reflect.DeepEqual(a.Cluster(center), b.Cluster(center)) {
+			t.Fatalf("cluster %d differs", center)
+		}
+	}
+}
+
+// TestBuildFromSetsManyWorkersRegression mirrors the order package's
+// many-workers regression: worker counts near n must not leave nil shard
+// count arrays in the cover inversion.
+func TestBuildFromSetsManyWorkersRegression(t *testing.T) {
+	g := gen.Grid(15, 20) // n=300
+	r := 1
+	o := order.ConstructDefault(g, r)
+	sets2r := order.WReachSets(g, o, 2*r)
+	setsR := order.WReachSets(g, o, r)
+	want := BuildFromSets(g, r, setsR, sets2r, 1)
+	for _, workers := range []int{97, 256, 300, 1000} {
+		c := BuildFromSets(g, r, setsR, sets2r, workers)
+		if !reflect.DeepEqual(want.Centers(), c.Centers()) || !reflect.DeepEqual(want.Home, c.Home) {
+			t.Fatalf("workers=%d: cover differs from sequential", workers)
+		}
+		for _, center := range want.Centers() {
+			if !reflect.DeepEqual(want.Cluster(center), c.Cluster(center)) {
+				t.Fatalf("workers=%d: cluster %d differs", workers, center)
+			}
+		}
 	}
 }

@@ -12,17 +12,17 @@ import (
 type substrateKind uint8
 
 const (
-	kindOrder substrateKind = iota // a *order.Order for radius A
-	kindWcol                       // wcol_B measured on the order for radius A
-	kindCover                      // a *coverSubstrate for radius A
+	kindOrder  substrateKind = iota // a *order.Order for radius A
+	kindWReach                      // WReach_B sets on the order for radius A
+	kindCover                       // a *coverSubstrate for radius A
 )
 
 func (k substrateKind) String() string {
 	switch k {
 	case kindOrder:
 		return "order"
-	case kindWcol:
-		return "wcol"
+	case kindWReach:
+		return "wreach"
 	case kindCover:
 		return "cover"
 	default:

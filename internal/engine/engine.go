@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 	"weak"
 
@@ -59,6 +60,11 @@ type Config struct {
 	// DefaultTimeout applies to queries that set no per-request timeout
 	// (0 = no timeout).
 	DefaultTimeout time.Duration
+	// SubstrateWorkers bounds the goroutines used inside one substrate build
+	// (order augmentation scans, weak-reachability sweeps, cover inversion).
+	// 0 = GOMAXPROCS.  Substrate outputs are bit-identical for every value;
+	// the knob only trades build latency against CPU share.
+	SubstrateWorkers int
 }
 
 func (c Config) normalised() Config {
@@ -102,6 +108,10 @@ type Engine struct {
 	exec  *executor
 	stats *statsCollector
 
+	// substrateWorkers is the live value of Config.SubstrateWorkers
+	// (adjustable at runtime via SetSubstrateWorkers).
+	substrateWorkers atomic.Int32
+
 	mu      sync.Mutex
 	graphs  map[string]*graphEntry
 	anon    map[weak.Pointer[graph.Graph]]anonHandle
@@ -124,7 +134,7 @@ type anonHandle struct {
 // New returns a ready engine.
 func New(cfg Config) *Engine {
 	cfg = cfg.normalised()
-	return &Engine{
+	e := &Engine{
 		cfg:    cfg,
 		cache:  newSubstrateCache(cfg.CacheEntries),
 		exec:   newExecutor(cfg.Workers, cfg.QueueDepth),
@@ -132,6 +142,21 @@ func New(cfg Config) *Engine {
 		graphs: make(map[string]*graphEntry),
 		anon:   make(map[weak.Pointer[graph.Graph]]anonHandle),
 	}
+	e.substrateWorkers.Store(int32(cfg.SubstrateWorkers))
+	return e
+}
+
+// SetSubstrateWorkers adjusts the per-build worker bound at runtime (0 =
+// GOMAXPROCS).  Safe for concurrent use; it affects builds that start after
+// the call.  Substrate outputs are identical for every worker count, so the
+// cache stays valid across changes.
+func (e *Engine) SetSubstrateWorkers(workers int) {
+	e.substrateWorkers.Store(int32(workers))
+}
+
+// substrateWorkerCount resolves the current per-build worker bound.
+func (e *Engine) substrateWorkerCount() int {
+	return int(e.substrateWorkers.Load())
 }
 
 // Close shuts the query executor down and releases the substrate cache,
@@ -314,7 +339,12 @@ func (e *Engine) OrderFor(g *graph.Graph, r int) (*order.Order, bool, error) {
 
 func (e *Engine) orderFor(ctx context.Context, g *graph.Graph, gen uint64, r int) (*order.Order, bool, error) {
 	v, hit, err := e.cache.getOrBuild(ctx, substrateKey{gen: gen, kind: kindOrder, a: r}, func() (any, error) {
-		return e.cache.timedBuild(func() any { return order.ConstructDefault(g, r) }), nil
+		workers := e.substrateWorkerCount()
+		return e.cache.timedBuild(func() any {
+			opts := order.DefaultOptions(r)
+			opts.Workers = workers
+			return order.Construct(g, opts).Order
+		}), nil
 	})
 	if err != nil {
 		return nil, hit, err
@@ -322,23 +352,36 @@ func (e *Engine) orderFor(ctx context.Context, g *graph.Graph, gen uint64, r int
 	return v.(*order.Order), hit, nil
 }
 
-// wcolFor returns the (cached) measured wcol_s of the order for radius
-// orderR.  Building it reuses (or builds) the cached order.  The nested
-// fetch runs detached from the requester's context: a build is shared work —
-// if it adopted one requester's deadline, that requester's timeout would be
+// wreachFor returns the (cached) weak s-reachability sets of the order for
+// radius orderR — the substrate behind both wcol measurements and covers.
+// Building it reuses (or builds) the cached order.  The nested fetch runs
+// detached from the requester's context: a build is shared work — if it
+// adopted one requester's deadline, that requester's timeout would be
 // recorded as the build's error and handed to every coalesced waiter.
-func (e *Engine) wcolFor(ctx context.Context, g *graph.Graph, gen uint64, orderR, s int) (int, bool, error) {
-	v, hit, err := e.cache.getOrBuild(ctx, substrateKey{gen: gen, kind: kindWcol, a: orderR, b: s}, func() (any, error) {
+func (e *Engine) wreachFor(ctx context.Context, g *graph.Graph, gen uint64, orderR, s int) ([][]int, bool, error) {
+	v, hit, err := e.cache.getOrBuild(ctx, substrateKey{gen: gen, kind: kindWReach, a: orderR, b: s}, func() (any, error) {
 		o, _, err := e.orderFor(context.Background(), g, gen, orderR)
 		if err != nil {
 			return nil, err
 		}
-		return e.cache.timedBuild(func() any { return order.WColMeasure(g, o, s) }), nil
+		workers := e.substrateWorkerCount()
+		return e.cache.timedBuild(func() any { return order.WReachSetsWorkers(g, o, s, workers) }), nil
 	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.([][]int), hit, nil
+}
+
+// wcolFor returns the measured wcol_s of the order for radius orderR,
+// folding it from the cached weak-reachability sets (an O(n) length scan —
+// not worth a cache slot of its own).
+func (e *Engine) wcolFor(ctx context.Context, g *graph.Graph, gen uint64, orderR, s int) (int, bool, error) {
+	sets, hit, err := e.wreachFor(ctx, g, gen, orderR, s)
 	if err != nil {
 		return 0, hit, err
 	}
-	return v.(int), hit, nil
+	return order.WColOfSets(sets), hit, nil
 }
 
 // Model re-exports dist.Model so that callers of the engine's Request do not

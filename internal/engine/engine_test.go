@@ -447,3 +447,57 @@ func equalInts(a, b []int) bool {
 	}
 	return true
 }
+
+// TestSubstrateWorkersDeterminism asserts that the engine serves
+// bit-identical query results for every substrate worker count — the same
+// determinism contract internal/dist enforces for its simulator pool.
+func TestSubstrateWorkersDeterminism(t *testing.T) {
+	g := gen.Grid(24, 24) // above the substrate parallel threshold
+	type outcome struct {
+		set        []int
+		lb, wcol   int
+		covSize    int
+		covDegree  int
+		covRadius  int
+		covCenters []int
+	}
+	var base *outcome
+	for _, workers := range []int{1, 2, 8} {
+		e := testEngine(t, Config{SubstrateWorkers: workers})
+		dom, err := e.Do(context.Background(), Request{G: g, Kind: KindDominatingSet, R: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cov, err := e.Do(context.Background(), Request{G: g, Kind: KindCover, R: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := &outcome{
+			set: dom.Set, lb: dom.LowerBound, wcol: dom.Wcol,
+			covSize: cov.Size, covDegree: cov.CoverDegree, covRadius: cov.CoverMaxRadius,
+			covCenters: cov.CoverData().Centers(),
+		}
+		if base == nil {
+			base = got
+			continue
+		}
+		if !equalInts(base.set, got.set) || base.lb != got.lb || base.wcol != got.wcol {
+			t.Fatalf("domset result differs at %d substrate workers", workers)
+		}
+		if base.covSize != got.covSize || base.covDegree != got.covDegree ||
+			base.covRadius != got.covRadius || !equalInts(base.covCenters, got.covCenters) {
+			t.Fatalf("cover result differs at %d substrate workers", workers)
+		}
+	}
+	// The knob is also runtime-adjustable; flipping it must not change
+	// results on a fresh engine.
+	e := testEngine(t, Config{})
+	e.SetSubstrateWorkers(3)
+	dom, err := e.Do(context.Background(), Request{G: g, Kind: KindDominatingSet, R: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(dom.Set, base.set) {
+		t.Fatal("SetSubstrateWorkers changed query results")
+	}
+}

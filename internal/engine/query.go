@@ -113,8 +113,9 @@ type Response struct {
 	CoverDegree    int `json:"cover_degree,omitempty"`
 	CoverMaxRadius int `json:"cover_max_radius,omitempty"`
 	// Clusters maps cluster centers to cluster vertex sets; only populated
-	// for cover queries with IncludeClusters.  The map is shared with the
-	// substrate cache and must not be mutated (the facade copies it).
+	// for cover queries with IncludeClusters.  The map is fresh per response
+	// but its value slices are shared with the substrate cache and must not
+	// be mutated (the facade copies them).
 	Clusters map[int][]int `json:"clusters,omitempty"`
 
 	// Simulator cost (distributed kinds only).
@@ -253,7 +254,7 @@ func (e *Engine) run(ctx context.Context, req Request, g *graph.Graph, gen uint6
 		resp.CacheHit = hit
 		resp.coverRef = cs.cover
 		if req.IncludeClusters {
-			resp.Clusters = cs.cover.Clusters
+			resp.Clusters = cs.cover.ClusterMap()
 		}
 
 	case KindGreedy:
@@ -304,15 +305,22 @@ type coverSubstrate struct {
 
 func (e *Engine) coverFor(ctx context.Context, g *graph.Graph, gen uint64, r int) (*coverSubstrate, bool, error) {
 	v, hit, err := e.cache.getOrBuild(ctx, substrateKey{gen: gen, kind: kindCover, a: r}, func() (any, error) {
-		// Detached context: see wcolFor — a shared build must not inherit one
-		// requester's deadline.
-		o, _, err := e.orderFor(context.Background(), g, gen, r)
+		// Detached context: see wreachFor — a shared build must not inherit
+		// one requester's deadline.  The cover inverts the cached
+		// weak-reachability sets (shared with wcol measurements) instead of
+		// sweeping the graph again.
+		sets2r, _, err := e.wreachFor(context.Background(), g, gen, r, 2*r)
 		if err != nil {
 			return nil, err
 		}
+		setsR, _, err := e.wreachFor(context.Background(), g, gen, r, r)
+		if err != nil {
+			return nil, err
+		}
+		workers := e.substrateWorkerCount()
 		return e.cache.timedBuild(func() any {
-			c := cover.Build(g, o, r)
-			return &coverSubstrate{cover: c, stats: c.ComputeStats(g)}
+			c := cover.BuildFromSets(g, r, setsR, sets2r, workers)
+			return &coverSubstrate{cover: c, stats: c.ComputeStatsWorkers(g, workers)}
 		}), nil
 	})
 	if err != nil {

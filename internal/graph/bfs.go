@@ -26,7 +26,7 @@ func (g *Graph) BFSDistancesBounded(src, maxDepth int) []int {
 		if maxDepth >= 0 && dist[v] >= maxDepth {
 			continue
 		}
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			u := int(w)
 			if dist[u] == Unreached {
 				dist[u] = dist[v] + 1
@@ -52,7 +52,7 @@ func (g *Graph) Ball(v, r int) []int {
 		if dist[x] >= r {
 			continue
 		}
-		for _, w := range g.adj[x] {
+		for _, w := range g.Neighbors(x) {
 			u := int(w)
 			if _, ok := dist[u]; !ok {
 				dist[u] = dist[x] + 1
@@ -106,7 +106,7 @@ func (g *Graph) ShortestPath(u, v int) []int {
 		if x == v {
 			break
 		}
-		for _, w := range g.adj[x] {
+		for _, w := range g.Neighbors(x) {
 			y := int(w)
 			if dist[y] == Unreached {
 				dist[y] = dist[x] + 1
@@ -193,7 +193,7 @@ func (g *Graph) MultiSourceDistances(srcs []int) []int {
 	}
 	for !q.Empty() {
 		v := q.Pop()
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			u := int(w)
 			if dist[u] == Unreached {
 				dist[u] = dist[v] + 1

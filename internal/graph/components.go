@@ -19,7 +19,7 @@ func (g *Graph) Components() (parts [][]int, comp []int) {
 		q.Push(s)
 		for !q.Empty() {
 			v := q.Pop()
-			for _, w := range g.adj[v] {
+			for _, w := range g.Neighbors(v) {
 				u := int(w)
 				if comp[u] == -1 {
 					comp[u] = idx
@@ -59,7 +59,7 @@ func (g *Graph) IsConnectedSubset(verts []int) bool {
 	q.Push(verts[0])
 	for !q.Empty() {
 		v := q.Pop()
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			u := int(w)
 			if in[u] && !seen[u] {
 				seen[u] = true

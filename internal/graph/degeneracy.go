@@ -1,9 +1,14 @@
 package graph
 
-// DegeneracyOrder computes a degeneracy ordering of g using the standard
-// linear-time bucket algorithm (Matula–Beck).  It returns the ordering as a
-// slice order (order[i] is the i-th vertex) and the degeneracy k of the
-// graph.
+// DegeneracyOrder computes a degeneracy ordering of g using the linear-time
+// bucket algorithm of Matula–Beck in the flat-array formulation of
+// Batagelj–Zaveršnik: vertices live in one array sorted by current degree,
+// a bin table marks the start of each degree block, and removing a vertex
+// swap-moves each affected neighbor one block down.  No per-bucket slices,
+// no stale entries, no allocations beyond five flat arrays.
+//
+// It returns the ordering as a slice order (order[i] is the i-th vertex)
+// and the degeneracy k of the graph.
 //
 // The ordering has the property that every vertex has at most k neighbors
 // that appear *later* in the ordering.  The library's convention for linear
@@ -15,56 +20,60 @@ func (g *Graph) DegeneracyOrder() (order []int, degeneracy int) {
 	if n == 0 {
 		return nil, 0
 	}
-	deg := make([]int, n)
-	maxDeg := 0
+	deg := make([]int32, n)
+	maxDeg := int32(0)
 	for v := 0; v < n; v++ {
-		deg[v] = len(g.adj[v])
+		deg[v] = int32(g.Degree(v))
 		if deg[v] > maxDeg {
 			maxDeg = deg[v]
 		}
 	}
-	// Buckets of vertices by current degree.
-	bucket := make([][]int, maxDeg+1)
+	// bin[d] = index in vert of the first vertex whose current degree is d.
+	bin := make([]int32, maxDeg+2)
 	for v := 0; v < n; v++ {
-		bucket[deg[v]] = append(bucket[deg[v]], v)
+		bin[deg[v]+1]++
 	}
-	removed := make([]bool, n)
-	order = make([]int, 0, n)
-	degeneracy = 0
-	cur := 0
-	for len(order) < n {
-		// Find the smallest non-empty bucket.  cur may have to move down
-		// because removing a vertex decreases neighbor degrees.
-		if cur > 0 {
-			cur--
+	for d := int32(1); d <= maxDeg+1; d++ {
+		bin[d] += bin[d-1]
+	}
+	vert := make([]int32, n) // vertices sorted by current degree
+	pos := make([]int32, n)  // pos[v] = index of v in vert
+	cursor := make([]int32, maxDeg+1)
+	copy(cursor, bin[:maxDeg+1])
+	for v := 0; v < n; v++ {
+		pos[v] = cursor[deg[v]]
+		vert[pos[v]] = int32(v)
+		cursor[deg[v]]++
+	}
+
+	order = make([]int, n)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		dv := deg[v]
+		if dv > int32(degeneracy) {
+			degeneracy = int(dv)
 		}
-		for cur <= maxDeg && len(bucket[cur]) == 0 {
-			cur++
-		}
-		// Pop a vertex with minimum current degree (skip stale entries).
-		var v int
-		for {
-			b := bucket[cur]
-			v = b[len(b)-1]
-			bucket[cur] = b[:len(b)-1]
-			if !removed[v] && deg[v] == cur {
-				break
+		order[i] = int(v)
+		for _, wn := range g.Neighbors(int(v)) {
+			u := int32(wn)
+			// Only neighbors in strictly higher degree blocks move; degrees
+			// frozen at the current level keep the pop-degree sequence
+			// monotone, so every touched block starts after position i.
+			if deg[u] <= dv {
+				continue
 			}
-			for cur <= maxDeg && len(bucket[cur]) == 0 {
-				cur++
+			// Swap u with the first vertex of its degree block, advance the
+			// block boundary past it and decrement u's degree.
+			du := deg[u]
+			pu := pos[u]
+			pw := bin[du]
+			w := vert[pw]
+			if u != w {
+				vert[pu], vert[pw] = w, u
+				pos[u], pos[w] = pw, pu
 			}
-		}
-		removed[v] = true
-		if cur > degeneracy {
-			degeneracy = cur
-		}
-		order = append(order, v)
-		for _, w := range g.adj[v] {
-			u := int(w)
-			if !removed[u] {
-				deg[u]--
-				bucket[deg[u]] = append(bucket[deg[u]], u)
-			}
+			bin[du] = pw + 1
+			deg[u]--
 		}
 	}
 	return order, degeneracy

@@ -11,19 +11,32 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 )
 
-// Graph is an undirected simple graph stored as adjacency lists.
+// Graph is an undirected simple graph.  During construction edges accumulate
+// in per-vertex adjacency slices; Finalize converts the graph to a
+// compressed-sparse-row (CSR) layout — one flat offsets array and one flat
+// targets array — which is the representation every algorithm in the library
+// reads.  CSR rows are sorted increasingly, so HasEdge is a binary search
+// and Neighbors returns a contiguous, cache-friendly slice of the shared
+// targets array.
 //
 // The zero value is an empty graph with no vertices.  Use New or FromEdges to
 // construct graphs.  After construction, call Finalize (or use FromEdges,
-// which finalizes automatically) to sort adjacency lists; several methods
-// (HasEdge, Neighbors ordering guarantees) require a finalized graph.
+// which finalizes automatically); several methods (HasEdge, Neighbors
+// ordering guarantees) require a finalized graph.
 type Graph struct {
-	n         int
-	m         int
-	adj       [][]int32
+	n int
+	m int
+	// adj holds the construction-side adjacency lists; nil once finalized.
+	adj [][]int32
+	// off/tgt form the CSR layout of a finalized graph: the neighbors of v
+	// are tgt[off[v]:off[v+1]], sorted increasingly.
+	off       []int32
+	tgt       []int32
 	finalized bool
 }
 
@@ -51,7 +64,7 @@ func New(n int) *Graph {
 func FromEdges(n int, edges [][2]int) (*Graph, error) {
 	g := New(n)
 	for _, e := range edges {
-		if err := g.AddEdge(e[0], e[1]); err != nil {
+		if err := g.AddEdgeLazy(e[0], e[1]); err != nil {
 			return nil, err
 		}
 	}
@@ -72,17 +85,24 @@ func MustFromEdges(n int, edges [][2]int) *Graph {
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
-// M returns the number of edges.
+// M returns the number of edges.  Until Finalize runs, edges inserted with
+// AddEdgeLazy may be counted more than once; Finalize recomputes the exact
+// count.
 func (g *Graph) M() int { return g.m }
 
 // Degree returns the degree of vertex v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int {
+	if g.finalized {
+		return int(g.off[v+1] - g.off[v])
+	}
+	return len(g.adj[v])
+}
 
 // MaxDegree returns the maximum vertex degree (0 for the empty graph).
 func (g *Graph) MaxDegree() int {
 	max := 0
 	for v := 0; v < g.n; v++ {
-		if d := len(g.adj[v]); d > max {
+		if d := g.Degree(v); d > max {
 			max = d
 		}
 	}
@@ -97,36 +117,63 @@ func (g *Graph) AvgDegree() float64 {
 	return 2 * float64(g.m) / float64(g.n)
 }
 
-// AddEdge inserts the undirected edge {u, v}.  Adding an existing edge is a
-// no-op.  Adding an edge invalidates a previous Finalize.
-func (g *Graph) AddEdge(u, v int) error {
+// checkEdge validates the endpoints of {u, v}.
+func (g *Graph) checkEdge(u, v int) error {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return fmt.Errorf("%w: {%d,%d} with n=%d", ErrVertexRange, u, v, g.n)
 	}
 	if u == v {
 		return fmt.Errorf("%w: vertex %d", ErrSelfLoop, u)
 	}
-	if g.hasEdgeSlow(u, v) {
+	return nil
+}
+
+// AddEdge inserts the undirected edge {u, v}.  Adding an existing edge is a
+// no-op.  Adding an edge invalidates a previous Finalize.
+func (g *Graph) AddEdge(u, v int) error {
+	if err := g.checkEdge(u, v); err != nil {
+		return err
+	}
+	if g.finalized {
+		if g.HasEdge(u, v) {
+			return nil
+		}
+		g.definalize()
+	} else if g.hasEdgeSlow(u, v) {
 		return nil
 	}
 	g.adj[u] = append(g.adj[u], int32(v))
 	g.adj[v] = append(g.adj[v], int32(u))
 	g.m++
-	g.finalized = false
 	return nil
 }
 
-// hasEdgeSlow performs a linear scan; used during construction when the
-// adjacency lists may not be sorted.  It scans the smaller list.
+// AddEdgeLazy inserts the undirected edge {u, v} without checking for
+// duplicates: Finalize sorts the adjacency lists and removes duplicate
+// entries (recomputing the edge count).  It is the fast path for bulk
+// construction — ingesting m edges costs O(m) instead of the O(m·Δ)
+// membership probes of AddEdge — and the intended way to build graphs whose
+// edge streams may repeat edges (minors, underlying graphs of digraphs).
+func (g *Graph) AddEdgeLazy(u, v int) error {
+	if err := g.checkEdge(u, v); err != nil {
+		return err
+	}
+	if g.finalized {
+		g.definalize()
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	g.m++
+	return nil
+}
+
+// hasEdgeSlow performs a linear scan over the smaller construction-side
+// adjacency list; only valid on non-finalized graphs.
 func (g *Graph) hasEdgeSlow(u, v int) bool {
 	a := g.adj[u]
 	if len(g.adj[v]) < len(a) {
 		a = g.adj[v]
 		u, v = v, u
-	}
-	if g.finalized {
-		i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
-		return i < len(a) && a[i] == int32(v)
 	}
 	for _, w := range a {
 		if int(w) == v {
@@ -136,40 +183,129 @@ func (g *Graph) hasEdgeSlow(u, v int) bool {
 	return false
 }
 
-// Finalize sorts every adjacency list increasingly by vertex index.  It is
-// idempotent.  Finalized graphs support O(log deg) HasEdge queries and
-// guarantee that Neighbors returns vertices in increasing order.
-func (g *Graph) Finalize() {
+// definalize converts a finalized graph back to construction-side adjacency
+// lists so that further edges can be inserted.
+func (g *Graph) definalize() {
+	adj := make([][]int32, g.n)
+	for v := 0; v < g.n; v++ {
+		row := g.tgt[g.off[v]:g.off[v+1]]
+		adj[v] = append(make([]int32, 0, len(row)+1), row...)
+	}
+	g.adj, g.off, g.tgt, g.finalized = adj, nil, nil, false
+}
+
+// Finalize converts the graph to its CSR representation: every adjacency
+// list is sorted increasingly, duplicate entries (from AddEdgeLazy) are
+// removed, the exact edge count is recomputed, and the lists are packed into
+// one flat targets array indexed by a flat offsets array.  It is idempotent.
+// Finalized graphs support O(log deg) HasEdge queries and guarantee that
+// Neighbors returns vertices in increasing order.
+func (g *Graph) Finalize() { g.FinalizeWorkers(0) }
+
+// FinalizeWorkers is Finalize with an explicit bound on the goroutines of
+// the packing passes (0 = GOMAXPROCS); the result is identical for every
+// worker count.
+func (g *Graph) FinalizeWorkers(workers int) {
 	if g.finalized {
 		return
 	}
-	for v := 0; v < g.n; v++ {
-		a := g.adj[v]
-		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	// Sort and dedup every row; rows are independent, so large graphs fan
+	// the pass across cores (per-vertex work only — deterministic).
+	workers = ResolveWorkers(workers, g.n)
+	if g.n < 1024 {
+		workers = 1
 	}
+	ParallelBlocks(g.n, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			a := g.adj[v]
+			if len(a) <= 1 {
+				continue
+			}
+			slices.Sort(a)
+			// Compact duplicates in place (AddEdgeLazy may repeat entries).
+			k := 1
+			for i := 1; i < len(a); i++ {
+				if a[i] != a[i-1] {
+					a[k] = a[i]
+					k++
+				}
+			}
+			g.adj[v] = a[:k]
+		}
+	})
+	total := 0
+	for v := 0; v < g.n; v++ {
+		total += len(g.adj[v])
+	}
+	if total > math.MaxInt32 {
+		// The CSR layout indexes targets with int32 offsets; refuse loudly
+		// instead of wrapping silently (such a graph needs > 8 GB of
+		// targets alone, far outside this library's design envelope).
+		panic(fmt.Sprintf("graph: Finalize: %d adjacency entries overflow the int32 CSR offsets", total))
+	}
+	off := make([]int32, g.n+1)
+	total = 0
+	for v := 0; v < g.n; v++ {
+		off[v] = int32(total)
+		total += len(g.adj[v])
+	}
+	off[g.n] = int32(total)
+	tgt := make([]int32, total)
+	ParallelBlocks(g.n, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			copy(tgt[off[v]:], g.adj[v])
+		}
+	})
+	g.off, g.tgt = off, tgt
+	g.m = total / 2
+	g.adj = nil
 	g.finalized = true
 }
 
 // Finalized reports whether Finalize has been called since the last mutation.
 func (g *Graph) Finalized() bool { return g.finalized }
 
-// HasEdge reports whether the edge {u, v} is present.
+// HasEdge reports whether the edge {u, v} is present.  On a finalized graph
+// this is a binary search over the shorter CSR row.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
 		return false
 	}
-	return g.hasEdgeSlow(u, v)
+	if !g.finalized {
+		return g.hasEdgeSlow(u, v)
+	}
+	if g.Degree(v) < g.Degree(u) {
+		u, v = v, u
+	}
+	row := g.tgt[g.off[u]:g.off[u+1]]
+	w := int32(v)
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(row) && row[lo] == w
 }
 
 // Neighbors returns the adjacency list of v.  The returned slice is owned by
-// the graph and must not be modified.  On a finalized graph it is sorted
-// increasingly.
-func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+// the graph and must not be modified.  On a finalized graph it is a slice of
+// the shared CSR targets array, sorted increasingly.
+func (g *Graph) Neighbors(v int) []int32 {
+	if g.finalized {
+		return g.tgt[g.off[v]:g.off[v+1]]
+	}
+	return g.adj[v]
+}
 
 // NeighborsInts returns a fresh []int copy of the adjacency list of v.
 func (g *Graph) NeighborsInts(v int) []int {
-	out := make([]int, len(g.adj[v]))
-	for i, w := range g.adj[v] {
+	nb := g.Neighbors(v)
+	out := make([]int, len(nb))
+	for i, w := range nb {
 		out[i] = int(w)
 	}
 	return out
@@ -180,25 +316,35 @@ func (g *Graph) NeighborsInts(v int) []int {
 func (g *Graph) Edges() [][2]int {
 	edges := make([][2]int, 0, g.m)
 	for u := 0; u < g.n; u++ {
-		for _, w := range g.adj[u] {
+		for _, w := range g.Neighbors(u) {
 			v := int(w)
 			if u < v {
 				edges = append(edges, [2]int{u, v})
 			}
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i][0] != edges[j][0] {
-			return edges[i][0] < edges[j][0]
-		}
-		return edges[i][1] < edges[j][1]
-	})
+	if !g.finalized {
+		// Finalized CSR rows are sorted, so the sweep above is already
+		// lexicographic; unsorted construction-side lists are not.
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i][0] != edges[j][0] {
+				return edges[i][0] < edges[j][0]
+			}
+			return edges[i][1] < edges[j][1]
+		})
+	}
 	return edges
 }
 
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{n: g.n, m: g.m, adj: make([][]int32, g.n), finalized: g.finalized}
+	c := &Graph{n: g.n, m: g.m, finalized: g.finalized}
+	if g.finalized {
+		c.off = append([]int32(nil), g.off...)
+		c.tgt = append([]int32(nil), g.tgt...)
+		return c
+	}
+	c.adj = make([][]int32, g.n)
 	for v := 0; v < g.n; v++ {
 		c.adj[v] = append([]int32(nil), g.adj[v]...)
 	}
@@ -220,7 +366,7 @@ func (g *Graph) InducedSubgraph(verts []int) (sub *Graph, orig []int) {
 	}
 	sub = New(len(orig))
 	for i, v := range orig {
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			if j, ok := idx[int(w)]; ok && i < j {
 				sub.adj[i] = append(sub.adj[i], int32(j))
 				sub.adj[j] = append(sub.adj[j], int32(i))
@@ -239,28 +385,17 @@ func (g *Graph) InducedSubgraph(verts []int) (sub *Graph, orig []int) {
 // the paper (contracting the balls B(v) of a D-partition).
 func (g *Graph) ContractPartition(part []int, nparts int) *Graph {
 	h := New(nparts)
-	seen := make(map[[2]int]struct{})
 	for u := 0; u < g.n; u++ {
 		pu := part[u]
-		for _, w := range g.adj[u] {
+		for _, w := range g.Neighbors(u) {
 			v := int(w)
 			if u >= v {
 				continue
 			}
-			pv := part[v]
-			if pu == pv {
-				continue
+			if pv := part[v]; pu != pv {
+				// Parallel edges collapse during Finalize.
+				_ = h.AddEdgeLazy(pu, pv)
 			}
-			a, b := pu, pv
-			if a > b {
-				a, b = b, a
-			}
-			if _, ok := seen[[2]int{a, b}]; ok {
-				continue
-			}
-			seen[[2]int{a, b}] = struct{}{}
-			// Error cannot occur: indices are in range and a != b.
-			_ = h.AddEdge(a, b)
 		}
 	}
 	h.Finalize()
@@ -273,13 +408,14 @@ func (g *Graph) String() string {
 }
 
 // Validate checks internal invariants (symmetry, no self-loops, no duplicate
-// entries, edge count consistency).  It is used by tests and the fuzzing /
-// property-based suites.
+// entries, CSR row ordering, edge count consistency).  It is used by tests
+// and the fuzzing / property-based suites.
 func (g *Graph) Validate() error {
 	count := 0
 	for v := 0; v < g.n; v++ {
-		seen := make(map[int32]bool, len(g.adj[v]))
-		for _, w := range g.adj[v] {
+		nb := g.Neighbors(v)
+		seen := make(map[int32]bool, len(nb))
+		for i, w := range nb {
 			if int(w) == v {
 				return fmt.Errorf("graph: self-loop at %d", v)
 			}
@@ -290,14 +426,10 @@ func (g *Graph) Validate() error {
 				return fmt.Errorf("graph: duplicate edge {%d,%d}", v, w)
 			}
 			seen[w] = true
-			found := false
-			for _, x := range g.adj[int(w)] {
-				if int(x) == v {
-					found = true
-					break
-				}
+			if g.finalized && i > 0 && nb[i-1] >= w {
+				return fmt.Errorf("graph: CSR row of %d not sorted at %d", v, i)
 			}
-			if !found {
+			if !g.hasEdgeIn(int(w), v) {
 				return fmt.Errorf("graph: asymmetric edge {%d,%d}", v, w)
 			}
 			count++
@@ -307,4 +439,30 @@ func (g *Graph) Validate() error {
 		return fmt.Errorf("graph: edge count mismatch: m=%d but %d adjacency entries", g.m, count)
 	}
 	return nil
+}
+
+// hasEdgeIn reports whether v appears in the adjacency list of u by linear
+// scan; Validate uses it on non-finalized graphs where duplicate entries may
+// make HasEdge's assumptions unreliable.
+func (g *Graph) hasEdgeIn(u, v int) bool {
+	for _, x := range g.Neighbors(u) {
+		if int(x) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NewWithDegreeCap returns an empty graph on n vertices whose adjacency
+// lists are preallocated with the given per-vertex capacities, avoiding
+// append-growth copying during bulk construction when the caller knows the
+// (approximate) degree sequence up front.
+func NewWithDegreeCap(n int, degCap []int32) *Graph {
+	g := New(n)
+	for v := 0; v < n && v < len(degCap); v++ {
+		if degCap[v] > 0 {
+			g.adj[v] = make([]int32, 0, degCap[v])
+		}
+	}
+	return g
 }

@@ -428,10 +428,77 @@ func TestDegeneracyOrderProperty(t *testing.T) {
 	}
 }
 
+func TestAddEdgeLazyDedupAtFinalize(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdgeLazy(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdgeLazy(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdgeLazy(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	g.Finalize()
+	if g.M() != 2 {
+		t.Fatalf("M after dedup = %d, want 2", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 1) || g.HasEdge(0, 2) {
+		t.Fatal("edge membership wrong after dedup")
+	}
+	if err := g.AddEdgeLazy(0, 0); err == nil {
+		t.Fatal("lazy self-loop not rejected")
+	}
+	if err := g.AddEdgeLazy(0, 7); err == nil {
+		t.Fatal("lazy out-of-range edge not rejected")
+	}
+}
+
+func TestAddEdgeAfterFinalizeDefinalizes(t *testing.T) {
+	g := pathGraph(4) // finalized CSR
+	if !g.Finalized() {
+		t.Fatal("pathGraph should be finalized")
+	}
+	if err := g.AddEdge(0, 1); err != nil { // duplicate: must stay finalized
+		t.Fatal(err)
+	}
+	if !g.Finalized() || g.M() != 3 {
+		t.Fatal("duplicate AddEdge should be a finalized no-op")
+	}
+	if err := g.AddEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.Finalized() {
+		t.Fatal("new edge should invalidate Finalize")
+	}
+	if g.M() != 4 || !g.HasEdge(0, 3) || !g.HasEdge(1, 2) {
+		t.Fatal("edges lost across definalize")
+	}
+	g.Finalize()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{0, 1}, {0, 3}, {1, 2}, {2, 3}}
+	got := g.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("edges = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edges = %v, want %v", got, want)
+		}
+	}
+}
+
 func TestValidateDetectsCorruption(t *testing.T) {
 	g := pathGraph(4)
-	// Corrupt: make adjacency asymmetric.
-	g.adj[0] = append(g.adj[0], 3)
+	// Corrupt: rewrite a CSR target to make the adjacency asymmetric.
+	g.tgt[0] = 3
 	if err := g.Validate(); err == nil {
 		t.Fatal("asymmetric adjacency not detected")
 	}

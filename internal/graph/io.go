@@ -72,7 +72,9 @@ func ReadEdgeListLimit(r io.Reader, maxVertices int) (*Graph, error) {
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
 		}
-		if err := g.AddEdge(u, v); err != nil {
+		// Lazy insert: duplicates collapse at Finalize, so ingestion is O(m)
+		// instead of paying a membership probe per line.
+		if err := g.AddEdgeLazy(u, v); err != nil {
 			return nil, fmt.Errorf("graph: line %d: %w", line, err)
 		}
 	}

@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MinParallelVertices is the item count below which the substrate helpers
+// stay sequential: goroutine fan-out costs more than it saves on tiny
+// inputs and the outputs are identical either way.  Shared by the order and
+// cover packages so their sequential-fallback thresholds cannot drift.
+const MinParallelVertices = 256
+
+// ResolveWorkers resolves a worker-count knob against n work items: 0 (or
+// negative) means GOMAXPROCS, and there is never a point in more workers
+// than items.
+func ResolveWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ParallelBlocks splits [0, n) into one contiguous block per worker and runs
+// fn(k, lo, hi) for block k on its own goroutine (inline when workers ≤ 1).
+// Blocks are balanced to ⌊n/workers⌋ or ⌈n/workers⌉ items, so whenever
+// workers ≤ n (which ResolveWorkers guarantees) every worker receives a
+// non-empty block — callers may therefore assume all per-worker result
+// slots are populated.  Deterministic use requires fn to write only
+// worker-private state indexed by k; callers merge the per-block results in
+// block order, which recovers the sequential iteration order exactly.
+func ParallelBlocks(n, workers int, fn func(k, lo, hi int)) {
+	if workers <= 1 || n == 0 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		lo := k * n / workers
+		hi := (k + 1) * n / workers
+		if lo >= hi {
+			continue // only possible when workers > n
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(k, lo, hi)
+		}()
+	}
+	wg.Wait()
+}

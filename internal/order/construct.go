@@ -19,6 +19,10 @@ type Options struct {
 	// MaxArcLength caps the length of augmentation arcs.  Zero or negative
 	// selects the default 2·Radius+1.
 	MaxArcLength int
+	// Workers bounds the number of goroutines used by the parallel phases of
+	// the construction (the augmentation scans).  0 selects GOMAXPROCS.  The
+	// constructed order is identical for every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the options used by the high-level API for a given
@@ -68,8 +72,8 @@ func Construct(g *graph.Graph, opt Options) Result {
 		o, k := FromDegeneracy(g)
 		return Result{Order: o, Degeneracy: k, MaxOutDegree: k}
 	}
-	d, rounds := TFAugmentation(g, opt.AugmentationDepth, opt.MaxArcLength)
-	aug := d.Underlying()
+	d, rounds := TFAugmentationWorkers(g, opt.AugmentationDepth, opt.MaxArcLength, opt.Workers)
+	aug := d.UnderlyingWorkers(opt.Workers)
 	o, _ := FromDegeneracy(aug)
 	return Result{
 		Order:        o,
