@@ -9,6 +9,9 @@
 //	benchrun -json              # one JSON document (perf-trajectory snapshots)
 //	benchrun -exp E3,E7         # selected experiments only
 //	benchrun -n 4000 -seed 3    # override workload size / seed
+//	benchrun -compare BENCH_baseline.json BENCH_new.json
+//	                            # regression gate: compare two snapshots,
+//	                            # exit 1 if any table drifts > -threshold
 package main
 
 import (
@@ -23,9 +26,16 @@ import (
 	"bedom/internal/exp"
 )
 
+// snapshotSchema versions the -json document; bump it whenever the snapshot
+// layout changes so downstream consumers (the CI perf gate, jq assertions)
+// can key off it instead of guessing from field shapes.
+const snapshotSchema = 2
+
 // snapshot is the JSON document emitted by -json: enough provenance to
-// compare perf trajectories across PRs (CI writes one per run).
+// compare perf trajectories across PRs (CI writes one per run and gates on
+// the drift vs the committed baseline).
 type snapshot struct {
+	Schema      int          `json:"schema"`
 	GeneratedAt string       `json:"generated_at"`
 	GoVersion   string       `json:"go_version"`
 	GOMAXPROCS  int          `json:"gomaxprocs"`
@@ -36,14 +46,28 @@ type snapshot struct {
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "use a reduced workload")
-		markdown = flag.Bool("markdown", false, "emit markdown tables")
-		jsonOut  = flag.Bool("json", false, "emit one JSON document with all tables")
-		only     = flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
-		n        = flag.Int("n", 0, "override the default graph size")
-		seed     = flag.Int64("seed", 0, "override the random seed")
+		quick     = flag.Bool("quick", false, "use a reduced workload")
+		markdown  = flag.Bool("markdown", false, "emit markdown tables")
+		jsonOut   = flag.Bool("json", false, "emit one JSON document with all tables")
+		only      = flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
+		n         = flag.Int("n", 0, "override the default graph size")
+		seed      = flag.Int64("seed", 0, "override the random seed")
+		compare   = flag.String("compare", "", "baseline snapshot: compare the candidate snapshot (positional arg) against it and exit")
+		threshold = flag.Float64("threshold", 0.30, "relative drift that fails -compare")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchrun: -compare needs exactly one candidate snapshot argument")
+			os.Exit(2)
+		}
+		if err := compareSnapshots(*compare, flag.Arg(0), *threshold, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := exp.DefaultConfig()
 	if *quick {
@@ -89,6 +113,7 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(snapshot{
+			Schema:      snapshotSchema,
 			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 			GoVersion:   runtime.Version(),
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),

@@ -13,15 +13,19 @@
 //
 // Endpoints (all JSON):
 //
-//	POST   /graphs          {"name":"g","family":"grid","n":4096}
-//	                        {"name":"g","n":3,"edges":[[0,1],[1,2]]}
-//	                        or a text/plain edge-list body with ?name=g
-//	GET    /graphs          list registered graphs
-//	DELETE /graphs/{name}   unregister
-//	POST   /query           {"graph":"g","kind":"domset","r":2}
-//	POST   /batch           {"queries":[{...},{...}]}
-//	GET    /stats           cache and executor counters
-//	GET    /healthz         liveness probe
+//	POST   /graphs               {"name":"g","family":"grid","n":4096}
+//	                             {"name":"g","n":3,"edges":[[0,1],[1,2]]}
+//	                             a text/plain edge-list body with ?name=g,
+//	                             or an application/x-ndjson stream:
+//	                             {"name":"g","n":1000} then one [u,v] per line
+//	GET    /graphs               list registered graphs
+//	DELETE /graphs/{name}        unregister
+//	POST   /graphs/{name}/edges  {"add":[[0,5]],"remove":[[0,1]],"add_vertices":2}
+//	POST   /query                {"graph":"g","kind":"domset","r":2}
+//	POST   /batch                {"queries":[{...},{...}]}
+//	GET    /stats                cache and executor counters, per-graph
+//	                             generations / compactions / rebuilds
+//	GET    /healthz              liveness probe
 //
 // Query kinds: domset, cds, cover, greedy, dist-domset, dist-cds.
 package main

@@ -32,19 +32,24 @@ type server struct {
 
 // newServer returns the domserved handler tree:
 //
-//	POST   /graphs          register a graph (JSON or text edge list)
-//	GET    /graphs          list registered graphs
-//	DELETE /graphs/{name}   unregister a graph
-//	POST   /query           run one domination query
-//	POST   /batch           run many queries across the worker pool
-//	GET    /stats           engine counters (cache, executor, latency)
-//	GET    /healthz         liveness probe
+//	POST   /graphs               register a graph (JSON, text edge list, or
+//	                             NDJSON streaming ingest)
+//	GET    /graphs               list registered graphs
+//	DELETE /graphs/{name}        unregister a graph
+//	POST   /graphs/{name}/edges  mutate a graph (JSON delta: add/remove
+//	                             edges, add vertices)
+//	POST   /query                run one domination query
+//	POST   /batch                run many queries across the worker pool
+//	GET    /stats                engine counters (cache, executor, latency,
+//	                             per-graph generations)
+//	GET    /healthz              liveness probe
 func newServer(eng *engine.Engine) http.Handler {
 	s := &server{eng: eng, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /graphs", s.handleRegister)
 	mux.HandleFunc("GET /graphs", s.handleListGraphs)
 	mux.HandleFunc("DELETE /graphs/{name}", s.handleRemoveGraph)
+	mux.HandleFunc("POST /graphs/{name}/edges", s.handleMutate)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -73,6 +78,16 @@ type registerRequest struct {
 func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	ct := r.Header.Get("Content-Type")
+	// Streaming NDJSON ingest: large edge lists arrive as one JSON value per
+	// line (a header object, then edges), decoded incrementally — the body
+	// (typically chunked) is never buffered whole, so memory tracks the
+	// graph, not the document.  The request-size cap still applies: it is
+	// what bounds adversarial duplicate-heavy streams, whose adjacency
+	// accumulation is O(lines) until finalization dedups.
+	if strings.HasPrefix(ct, "application/x-ndjson") || strings.HasPrefix(ct, "application/jsonl") {
+		s.handleRegisterStream(w, body)
+		return
+	}
 	// Raw edge-list upload: the body is the document, the name a query param.
 	if strings.HasPrefix(ct, "text/plain") || strings.HasPrefix(ct, "application/octet-stream") {
 		name := r.URL.Query().Get("name")
@@ -163,6 +178,162 @@ func buildGraph(req registerRequest) (*graph.Graph, error) {
 // limit.
 func parseEdgeListBounded(r io.Reader) (*graph.Graph, error) {
 	return graph.ReadEdgeListLimit(r, maxGraphVertices)
+}
+
+// streamHeader is the first NDJSON value of a streaming ingest: the graph
+// name and its declared vertex count.  Every following value is one edge
+// [u, v]; duplicates collapse at finalization, exactly like the edge-list
+// upload path.
+type streamHeader struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+}
+
+// streamResponse is the 201 body of a streaming ingest: the registered
+// graph plus how many edge lines were consumed (before deduplication).
+type streamResponse struct {
+	engine.GraphInfo
+	EdgesIngested int `json:"edges_ingested"`
+}
+
+// handleRegisterStream ingests `Content-Type: application/x-ndjson` bodies:
+//
+//	{"name":"g","n":1000}
+//	[0,1]
+//	[1,2]
+//	...
+//
+// The decoder pulls values straight off the (chunked) request body, so an
+// edge stream costs O(graph) memory rather than a full in-memory copy of
+// the document.  Bodies are bounded by maxBodyBytes like every other
+// registration path (≈ 30M edge lines).
+func (s *server) handleRegisterStream(w http.ResponseWriter, body io.Reader) {
+	dec := json.NewDecoder(body)
+	var hdr streamHeader
+	if err := dec.Decode(&hdr); err != nil {
+		httpError(w, http.StatusBadRequest, "bad NDJSON header (want {\"name\":...,\"n\":...}): "+err.Error())
+		return
+	}
+	if hdr.Name == "" {
+		httpError(w, http.StatusBadRequest, "NDJSON header must set 'name'")
+		return
+	}
+	if hdr.N < 0 || hdr.N > maxGraphVertices {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("'n' must be in [0, %d], got %d", maxGraphVertices, hdr.N))
+		return
+	}
+	g := graph.New(hdr.N)
+	edges := 0
+	// Decode into a slice, not [2]int: fixed-size array decoding zero-fills
+	// short JSON arrays and discards extra elements, which would silently
+	// register a wrong topology from a malformed line like [5] or [1,2,3].
+	var e []int
+	for {
+		e = e[:0]
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("edge %d: bad NDJSON value (want [u,v]): %v", edges+1, err))
+			return
+		}
+		if len(e) != 2 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("edge %d: want exactly [u,v], got %d elements", edges+1, len(e)))
+			return
+		}
+		if err := g.AddEdgeLazy(e[0], e[1]); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("edge %d: %v", edges+1, err))
+			return
+		}
+		edges++
+	}
+	g.Finalize()
+	info, err := s.eng.Register(hdr.Name, g)
+	if err != nil {
+		httpError(w, registerStatusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, streamResponse{GraphInfo: info, EdgesIngested: edges})
+}
+
+// mutateRequest is the JSON body of POST /graphs/{name}/edges.  Edges are
+// decoded as variable-length slices, not [2]int: fixed-size array decoding
+// zero-fills short JSON arrays and discards extra elements, which would
+// silently mutate the graph with edges the client never sent.
+type mutateRequest struct {
+	AddVertices int     `json:"add_vertices"`
+	Add         [][]int `json:"add"`
+	Remove      [][]int `json:"remove"`
+}
+
+func (m mutateRequest) toDelta() (engine.Delta, error) {
+	conv := func(field string, pairs [][]int) ([][2]int, error) {
+		if pairs == nil {
+			return nil, nil
+		}
+		out := make([][2]int, len(pairs))
+		for i, p := range pairs {
+			if len(p) != 2 {
+				return nil, fmt.Errorf("'%s' entry %d: want exactly [u,v], got %d elements", field, i, len(p))
+			}
+			out[i] = [2]int{p[0], p[1]}
+		}
+		return out, nil
+	}
+	add, err := conv("add", m.Add)
+	if err != nil {
+		return engine.Delta{}, err
+	}
+	remove, err := conv("remove", m.Remove)
+	if err != nil {
+		return engine.Delta{}, err
+	}
+	return engine.Delta{AddVertices: m.AddVertices, Add: add, Remove: remove}, nil
+}
+
+// handleMutate applies a JSON delta to a registered graph:
+//
+//	POST /graphs/{name}/edges
+//	{"add":[[0,5],[2,9]], "remove":[[0,1]], "add_vertices":2}
+//
+// An effective delta bumps the graph's cache generation, invalidating only
+// that graph's substrates; the response reports the new topology, the
+// per-operation outcome counts, and how many substrates were invalidated.
+func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req mutateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	delta, err := req.toDelta()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if delta.Empty() {
+		httpError(w, http.StatusBadRequest, "empty delta: set 'add', 'remove' or 'add_vertices'")
+		return
+	}
+	// Bound the post-mutation vertex count, not just this delta's growth:
+	// repeated mutations must not walk a graph past the registration-path
+	// cap.  Info is a counter read — no snapshot materialization on the
+	// mutation hot path.  (Racing mutations may each pass the check
+	// individually; the bound is a resource guard, so being off by one
+	// concurrent delta is acceptable.)
+	if gi, ok := s.eng.Info(name); ok {
+		if delta.AddVertices > maxGraphVertices-gi.N {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf(
+				"'add_vertices' would grow the graph past %d vertices (n=%d, add_vertices=%d)",
+				maxGraphVertices, gi.N, delta.AddVertices))
+			return
+		}
+	}
+	info, err := s.eng.Mutate(name, delta)
+	if err != nil {
+		httpError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
@@ -349,6 +520,8 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, engine.ErrInvalidRequest):
 		return http.StatusBadRequest
+	case errors.Is(err, engine.ErrConflict):
+		return http.StatusConflict
 	case errors.Is(err, engine.ErrEngineClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):

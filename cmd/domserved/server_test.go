@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -288,6 +289,169 @@ func TestStatsAndHealthz(t *testing.T) {
 	resp = doJSON(t, "GET", ts.URL+"/healthz", nil, &hz)
 	if resp.StatusCode != http.StatusOK || hz["status"] != "ok" {
 		t.Fatalf("healthz: %d %+v", resp.StatusCode, hz)
+	}
+}
+
+func TestMutationEndpoint(t *testing.T) {
+	ts := testServer(t)
+	registerGrid(t, ts, "grid", 100)
+
+	// Warm the cache, then mutate: add two edges (one duplicate), remove
+	// one, and grow the graph by a vertex.
+	doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "domset", "r": 1}, nil)
+	var info engine.MutationInfo
+	resp := doJSON(t, "POST", ts.URL+"/graphs/grid/edges",
+		map[string]any{"add": [][2]int{{0, 5}, {0, 1}, {2, 100}}, "remove": [][2]int{{0, 10}}, "add_vertices": 1}, &info)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate: status %d %+v", resp.StatusCode, info)
+	}
+	if info.EdgesAdded != 2 || info.DuplicateAdds != 1 || info.EdgesRemoved != 1 ||
+		info.VerticesAdded != 1 || info.Graph.N != 101 {
+		t.Fatalf("mutation info %+v", info)
+	}
+	if info.Graph.Gen == 0 || info.InvalidatedSubstrates == 0 {
+		t.Fatalf("mutation must bump the generation and invalidate substrates: %+v", info)
+	}
+
+	// The generation bump is visible in /stats, and a follow-up query is
+	// served against the new topology (cold, then warm).
+	var st engine.Stats
+	doJSON(t, "GET", ts.URL+"/stats", nil, &st)
+	if st.Mutations != 1 || len(st.GraphStats) != 1 || st.GraphStats[0].Gen != info.Graph.Gen {
+		t.Fatalf("stats after mutation: %+v", st)
+	}
+	var q queryResponse
+	doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "domset", "r": 1}, &q)
+	if q.Error != "" || q.CacheHit {
+		t.Fatalf("post-mutation query must rebuild: %+v", q)
+	}
+	doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "domset", "r": 1}, &q)
+	if !q.CacheHit {
+		t.Fatalf("second post-mutation query must be warm: %+v", q)
+	}
+
+	// Failure modes: unknown graph, empty delta, malformed delta.
+	resp = doJSON(t, "POST", ts.URL+"/graphs/missing/edges", map[string]any{"add": [][2]int{{0, 1}}}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown graph mutate: %d", resp.StatusCode)
+	}
+	resp = doJSON(t, "POST", ts.URL+"/graphs/grid/edges", map[string]any{}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty delta: %d", resp.StatusCode)
+	}
+	resp = doJSON(t, "POST", ts.URL+"/graphs/grid/edges", map[string]any{"add": [][2]int{{0, 9999}}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range delta: %d", resp.StatusCode)
+	}
+	resp = doJSON(t, "POST", ts.URL+"/graphs/grid/edges", map[string]any{"add_vertices": 1 << 40}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("absurd add_vertices: %d", resp.StatusCode)
+	}
+	// Wrong-arity edge arrays must be rejected, not zero-filled/truncated.
+	for _, bad := range []map[string]any{
+		{"add": [][]int{{7}}},
+		{"add": [][]int{{1, 2, 3}}},
+		{"remove": [][]int{{}}},
+	} {
+		resp = doJSON(t, "POST", ts.URL+"/graphs/grid/edges", bad, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("malformed delta %v: want 400, got %d", bad, resp.StatusCode)
+		}
+	}
+	// None of the rejected deltas mutated anything.
+	doJSON(t, "GET", ts.URL+"/stats", nil, &st)
+	if st.Mutations != 1 {
+		t.Fatalf("rejected deltas were counted as mutations: %+v", st)
+	}
+	// A mutation that loses a race with a concurrent re-registration maps
+	// to 409, not a contradictory 404 for a name that still exists.
+	if got := statusFor(engine.ErrConflict); got != http.StatusConflict {
+		t.Fatalf("ErrConflict must map to 409, got %d", got)
+	}
+}
+
+func TestStreamingIngest(t *testing.T) {
+	ts := testServer(t)
+	// A path graph streamed as NDJSON, with one duplicate edge line.
+	body := `{"name":"stream","n":5}
+[0,1]
+[1,2]
+[2,3]
+[3,4]
+[0,1]
+`
+	resp, err := http.Post(ts.URL+"/graphs", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		engine.GraphInfo
+		EdgesIngested int `json:"edges_ingested"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || sr.N != 5 || sr.M != 4 || sr.EdgesIngested != 5 {
+		t.Fatalf("streaming ingest: status %d %+v", resp.StatusCode, sr)
+	}
+	// The streamed graph serves queries like any other.
+	var q queryResponse
+	doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "stream", "kind": "domset", "r": 1}, &q)
+	if q.Error != "" || q.Size == 0 {
+		t.Fatalf("query on streamed graph: %+v", q)
+	}
+
+	// Failure modes: missing name, bad header, bad edge value, self-loop,
+	// absurd n.
+	for name, bad := range map[string]string{
+		"no-name":     `{"n":5}` + "\n[0,1]\n",
+		"bad-header":  "[0,1]\n",
+		"bad-edge":    `{"name":"x","n":5}` + "\n{\"u\":0}\n",
+		"short-edge":  `{"name":"x","n":5}` + "\n[3]\n",
+		"triple-edge": `{"name":"x","n":5}` + "\n[1,2,3]\n",
+		"self-loop":   `{"name":"x","n":5}` + "\n[2,2]\n",
+		"huge-n":      `{"name":"x","n":999999999999}` + "\n",
+	} {
+		resp, err := http.Post(ts.URL+"/graphs", "application/x-ndjson", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: want 400, got %d", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestStreamingIngestChunked streams a grid through a pipe (chunked
+// transfer encoding, no Content-Length) — the daemon must consume it
+// incrementally and register the full graph.
+func TestStreamingIngestChunked(t *testing.T) {
+	ts := testServer(t)
+	g := gen.Grid(20, 20)
+	pr, pw := io.Pipe()
+	go func() {
+		fmt.Fprintf(pw, "{\"name\":\"chunked\",\"n\":%d}\n", g.N())
+		for _, e := range g.Edges() {
+			fmt.Fprintf(pw, "[%d,%d]\n", e[0], e[1])
+		}
+		pw.Close()
+	}()
+	resp, err := http.Post(ts.URL+"/graphs", "application/x-ndjson", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		engine.GraphInfo
+		EdgesIngested int `json:"edges_ingested"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || sr.N != g.N() || sr.M != g.M() {
+		t.Fatalf("chunked ingest: status %d %+v (want n=%d m=%d)", resp.StatusCode, sr, g.N(), g.M())
 	}
 }
 

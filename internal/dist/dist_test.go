@@ -304,8 +304,8 @@ func TestInboxOrdering(t *testing.T) {
 			init: func(ctx *Context) {
 				if v != 0 {
 					ctx.Broadcast(IntMessage(10 * v))
-					ctx.Send(0, IntMessage(10*v + 1))
-					ctx.Send(0, IntMessage(10*v + 2))
+					ctx.Send(0, IntMessage(10*v+1))
+					ctx.Send(0, IntMessage(10*v+2))
 				}
 			},
 			round: func(ctx *Context, inbox []Inbound) {

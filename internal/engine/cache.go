@@ -142,10 +142,39 @@ func (c *substrateCache) getOrBuild(ctx context.Context, key substrateKey, build
 	return call.val, false, call.err
 }
 
+// join serves key without ever starting (or being admitted for) a build: a
+// cache hit returns immediately, an in-flight build is waited on, and a
+// cold key reports handled=false so the caller can take an admission slot
+// and build.  The engine calls it before the rebuild admission guard, so
+// warm queries and coalescing waiters never occupy a rebuild slot — only
+// the goroutine that actually builds holds one.
+func (c *substrateCache) join(ctx context.Context, key substrateKey) (val any, handled, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v, true, true, nil
+	}
+	call, ok := c.inflight[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false, false, nil
+	}
+	select {
+	case <-call.done:
+	case <-ctx.Done():
+		return nil, true, false, ctx.Err()
+	}
+	c.coalesced.Add(1)
+	return call.val, true, true, call.err
+}
+
 // purge drops every entry belonging to the given graph generation and
-// retires the generation (used when a graph is removed or re-registered
-// under the same name).
-func (c *substrateCache) purge(gen uint64) {
+// retires the generation (used when a graph is removed, re-registered under
+// the same name, or mutated).  It returns the number of entries dropped.
+func (c *substrateCache) purge(gen uint64) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.retired) >= 1<<16 {
@@ -154,15 +183,18 @@ func (c *substrateCache) purge(gen uint64) {
 		c.retired = make(map[uint64]struct{})
 	}
 	c.retired[gen] = struct{}{}
+	purged := 0
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
 		e := el.Value.(*cacheEntry)
 		if e.key.gen == gen {
 			c.ll.Remove(el)
 			delete(c.items, e.key)
+			purged++
 		}
 		el = next
 	}
+	return purged
 }
 
 // clear drops every cached entry.  Used on engine Close, after the executor

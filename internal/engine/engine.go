@@ -46,6 +46,11 @@ var (
 	// ErrNotConnected rejects connected-dominating-set queries on
 	// disconnected graphs.  It wraps ErrInvalidRequest.
 	ErrNotConnected = fmt.Errorf("%w: connected dominating sets require a connected graph", ErrInvalidRequest)
+	// ErrConflict is returned when an operation loses a race with a
+	// conflicting concurrent operation on the same graph (e.g. a mutation
+	// applied while the name was re-registered); the caller may retry
+	// against the current registration.
+	ErrConflict = errors.New("engine: conflicting concurrent operation")
 )
 
 // Config tunes an Engine.  The zero value selects sensible defaults.
@@ -65,6 +70,17 @@ type Config struct {
 	// 0 = GOMAXPROCS.  Substrate outputs are bit-identical for every value;
 	// the knob only trades build latency against CPU share.
 	SubstrateWorkers int
+	// MaxConcurrentRebuilds bounds the number of substrate rebuild chains
+	// that may run at once (an admission guard: a mutation storm invalidates
+	// many substrates, and without the bound every queued query would start
+	// its own expensive rebuild concurrently).  Queries needing a rebuild
+	// beyond the bound wait for a slot; warm queries are never throttled.
+	// Default GOMAXPROCS.
+	MaxConcurrentRebuilds int
+	// CompactionThreshold is the per-graph delta-overlay size (in
+	// half-edges) at which pending mutations are folded into a fresh CSR
+	// base (see graph.Dynamic).  0 = graph.DefaultCompactionThreshold.
+	CompactionThreshold int
 }
 
 func (c Config) normalised() Config {
@@ -77,6 +93,9 @@ func (c Config) normalised() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.Workers
 	}
+	if c.MaxConcurrentRebuilds <= 0 {
+		c.MaxConcurrentRebuilds = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -84,12 +103,45 @@ func (c Config) normalised() Config {
 // exceeded the table is reset (old generations age out of the LRU).
 const anonLimit = 1024
 
-// graphEntry is a registered graph.
+// graphEntry is a registered graph.  dyn holds the mutable delta-overlay
+// state; queries read the topology through dyn.Snapshot(), which is
+// materialized lazily on the first read after a mutation and cached inside
+// the Dynamic (so Mutate itself stays O(|delta|)).  gen is the substrate
+// cache generation, bumped under Engine.mu on every effective mutation.
 type graphEntry struct {
 	name string
-	g    *graph.Graph
 	gen  uint64
-	n, m int
+
+	dyn *graph.Dynamic
+	// mutMu makes a mutation's apply → generation bump → purge atomic with
+	// respect to resolve's (snapshot, generation) read: a query can never
+	// pair one topology with another topology's generation — in either
+	// direction — which is what keeps pre-purge cache hits safe.
+	mutMu     sync.Mutex
+	mutations atomic.Uint64
+}
+
+// info builds the entry's GraphInfo from the live overlay counters — one
+// locked read (Dynamic.Stats), so the (N, M) pair is always a topology that
+// actually existed; no snapshot is materialized.  The caller must supply a
+// generation consistent with the counters (hold mutMu, or use
+// Engine.entryInfo).
+func (ent *graphEntry) info(gen uint64) GraphInfo {
+	st := ent.dyn.Stats()
+	return GraphInfo{Name: ent.name, N: st.N, M: st.M, Gen: gen}
+}
+
+// entryInfo reads a consistent (Gen, N, M) triple: mutMu excludes the
+// apply → bump window, so the generation always matches the counters (a
+// consumer inferring "generation unchanged ⇒ topology unchanged" is never
+// misled).
+func (e *Engine) entryInfo(ent *graphEntry) GraphInfo {
+	ent.mutMu.Lock()
+	defer ent.mutMu.Unlock()
+	e.mu.Lock()
+	gen := ent.gen
+	e.mu.Unlock()
+	return ent.info(gen)
 }
 
 // GraphInfo describes a registered graph.
@@ -97,6 +149,9 @@ type GraphInfo struct {
 	Name string `json:"name"`
 	N    int    `json:"n"`
 	M    int    `json:"m"`
+	// Gen is the graph's substrate-cache generation; it increases on every
+	// re-registration and every effective mutation.
+	Gen uint64 `json:"gen"`
 }
 
 // Engine is a concurrent domination query engine.  All methods are safe for
@@ -112,10 +167,44 @@ type Engine struct {
 	// (adjustable at runtime via SetSubstrateWorkers).
 	substrateWorkers atomic.Int32
 
+	// rebuildSem is the admission guard bounding concurrent substrate
+	// rebuild chains (capacity Config.MaxConcurrentRebuilds).  Only
+	// top-level cache misses acquire a slot; builds nested inside an
+	// admitted build (the order underneath a wcol or cover) run on their
+	// parent's slot, marked by admittedCtx.
+	rebuildSem chan struct{}
+
 	mu      sync.Mutex
 	graphs  map[string]*graphEntry
 	anon    map[weak.Pointer[graph.Graph]]anonHandle
 	nextGen uint64
+}
+
+// admittedKey marks a context as belonging to a substrate build that
+// already holds a rebuild-admission slot.
+type admittedKey struct{}
+
+// admittedCtx is the detached context nested substrate fetches run under: no
+// deadline (a shared build must not inherit one requester's timeout) and
+// exempt from rebuild admission (the parent build holds the slot).
+var admittedCtx = context.WithValue(context.Background(), admittedKey{}, true)
+
+// acquireRebuild takes a rebuild-admission slot, blocking until one frees or
+// ctx expires.  The returned release function must be called exactly once.
+func (e *Engine) acquireRebuild(ctx context.Context) (func(), error) {
+	release := func() { <-e.rebuildSem }
+	select {
+	case e.rebuildSem <- struct{}{}:
+		return release, nil
+	default:
+	}
+	e.stats.rebuildWaits.Add(1)
+	select {
+	case e.rebuildSem <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // anonHandle tracks the cache generation of a graph queried directly through
@@ -135,12 +224,13 @@ type anonHandle struct {
 func New(cfg Config) *Engine {
 	cfg = cfg.normalised()
 	e := &Engine{
-		cfg:    cfg,
-		cache:  newSubstrateCache(cfg.CacheEntries),
-		exec:   newExecutor(cfg.Workers, cfg.QueueDepth),
-		stats:  &statsCollector{},
-		graphs: make(map[string]*graphEntry),
-		anon:   make(map[weak.Pointer[graph.Graph]]anonHandle),
+		cfg:        cfg,
+		cache:      newSubstrateCache(cfg.CacheEntries),
+		exec:       newExecutor(cfg.Workers, cfg.QueueDepth),
+		stats:      &statsCollector{},
+		rebuildSem: make(chan struct{}, cfg.MaxConcurrentRebuilds),
+		graphs:     make(map[string]*graphEntry),
+		anon:       make(map[weak.Pointer[graph.Graph]]anonHandle),
 	}
 	e.substrateWorkers.Store(int32(cfg.SubstrateWorkers))
 	return e
@@ -178,9 +268,11 @@ func (e *Engine) Close() {
 
 // Register adds (or replaces) a named graph.  Replacing a name invalidates
 // every substrate cached for the previous graph.  The graph must not be
-// mutated after registration, and should be finalized (every constructor in
-// graph/gen finalizes; Register does not finalize itself because that would
-// mutate the caller's graph, racing with concurrent readers).
+// mutated by the caller after registration — use Mutate, which applies
+// deltas through the graph's private overlay (see graph.Dynamic) — and
+// should be finalized (every constructor in graph/gen finalizes; Register
+// does not finalize itself because that would mutate the caller's graph,
+// racing with concurrent readers).
 func (e *Engine) Register(name string, g *graph.Graph) (GraphInfo, error) {
 	if name == "" {
 		return GraphInfo{}, fmt.Errorf("%w: empty graph name", ErrInvalidRequest)
@@ -188,14 +280,20 @@ func (e *Engine) Register(name string, g *graph.Graph) (GraphInfo, error) {
 	if g == nil {
 		return GraphInfo{}, fmt.Errorf("%w: nil graph", ErrInvalidRequest)
 	}
+	dyn := graph.NewDynamic(g, e.cfg.CompactionThreshold)
 	e.mu.Lock()
 	if old, ok := e.graphs[name]; ok {
 		defer e.cache.purge(old.gen)
 	}
 	e.nextGen++
-	e.graphs[name] = &graphEntry{name: name, g: g, gen: e.nextGen, n: g.N(), m: g.M()}
+	gen := e.nextGen
+	ent := &graphEntry{name: name, gen: gen, dyn: dyn}
+	e.graphs[name] = ent
 	e.mu.Unlock()
-	return GraphInfo{Name: name, N: g.N(), M: g.M()}, nil
+	// Counts come from the Dynamic, not the caller's graph: an unfinalized
+	// graph's M() may still include duplicate lazy insertions that the
+	// finalized clone behind dyn has already deduplicated.
+	return ent.info(gen), nil
 }
 
 // RegisterEdgeList reads a graph in the library's edge-list format (see
@@ -208,27 +306,44 @@ func (e *Engine) RegisterEdgeList(name string, r io.Reader) (GraphInfo, error) {
 	return e.Register(name, g)
 }
 
-// Lookup returns the graph registered under name.
+// Lookup returns the current topology of the graph registered under name:
+// the registered *Graph itself while unmutated, a materialized immutable
+// snapshot after mutations.
 func (e *Engine) Lookup(name string) (*graph.Graph, bool) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	ent, ok := e.graphs[name]
+	e.mu.Unlock()
 	if !ok {
 		return nil, false
 	}
-	return ent.g, true
+	return ent.dyn.Snapshot(), true
+}
+
+// Info returns the registered graph's current vertex/edge counts and cache
+// generation without materializing a snapshot (a counter read, safe to call
+// on every request — unlike Lookup, which merges a dirty overlay).
+func (e *Engine) Info(name string) (GraphInfo, bool) {
+	e.mu.Lock()
+	ent, ok := e.graphs[name]
+	e.mu.Unlock()
+	if !ok {
+		return GraphInfo{}, false
+	}
+	return e.entryInfo(ent), true
 }
 
 // Remove unregisters name and purges its cached substrates.
 func (e *Engine) Remove(name string) bool {
 	e.mu.Lock()
 	ent, ok := e.graphs[name]
+	var gen uint64
 	if ok {
 		delete(e.graphs, name)
+		gen = ent.gen // read under the lock; Mutate may write concurrently
 	}
 	e.mu.Unlock()
 	if ok {
-		e.cache.purge(ent.gen)
+		e.cache.purge(gen)
 	}
 	return ok
 }
@@ -244,11 +359,15 @@ func (e *Engine) GraphCount() int {
 // Graphs lists the registered graphs sorted by name.
 func (e *Engine) Graphs() []GraphInfo {
 	e.mu.Lock()
-	out := make([]GraphInfo, 0, len(e.graphs))
+	ents := make([]*graphEntry, 0, len(e.graphs))
 	for _, ent := range e.graphs {
-		out = append(out, GraphInfo{Name: ent.name, N: ent.n, M: ent.m})
+		ents = append(ents, ent)
 	}
 	e.mu.Unlock()
+	out := make([]GraphInfo, len(ents))
+	for i, ent := range ents {
+		out[i] = e.entryInfo(ent)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -264,7 +383,20 @@ func (e *Engine) resolve(req Request) (*graph.Graph, uint64, error) {
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownGraph, req.Graph)
 	}
-	return ent.g, ent.gen, nil
+	// Pair the topology with its generation atomically with respect to
+	// mutations: Mutate holds mutMu across apply → generation bump → purge,
+	// so under it the Dynamic's state corresponds exactly to the published
+	// generation and no stale pre-purge cache entry can be paired with a
+	// newer topology (or vice versa).  The first query after a delta pays
+	// the one merged-CSR materialization here (cached inside the Dynamic;
+	// Mutate itself never pays it); warm queries fetch a cached pointer.
+	ent.mutMu.Lock()
+	g := ent.dyn.Snapshot()
+	e.mu.Lock()
+	gen := ent.gen
+	e.mu.Unlock()
+	ent.mutMu.Unlock()
+	return g, gen, nil
 }
 
 // handleFor assigns a cache generation to an unregistered graph queried by
@@ -330,6 +462,30 @@ func (e *Engine) handleFor(g *graph.Graph) uint64 {
 
 // --- Substrate accessors --------------------------------------------------
 
+// getSubstrate wraps the cache with the rebuild admission guard.  Warm keys
+// and waiters coalescing onto an in-flight build are served via join and
+// never occupy a slot; only a caller about to build takes one — unless ctx
+// already belongs to an admitted build chain (nested fetches run on their
+// parent's slot).  Every in-flight build's goroutine therefore holds a slot
+// or rides a holder's, and never waits to acquire a second one, which keeps
+// the guard deadlock-free at any capacity.  (Two callers racing past join
+// for the same cold key may briefly hold a slot each while one of them
+// coalesces inside getOrBuild — bounded by the race width, not by the
+// number of queued queries.)
+func (e *Engine) getSubstrate(ctx context.Context, key substrateKey, build func() (any, error)) (any, bool, error) {
+	if ctx.Value(admittedKey{}) == nil {
+		if v, handled, hit, err := e.cache.join(ctx, key); handled {
+			return v, hit, err
+		}
+		release, err := e.acquireRebuild(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		defer release()
+	}
+	return e.cache.getOrBuild(ctx, key, build)
+}
+
 // OrderFor returns the (cached) weak-reachability order for radius r,
 // constructed exactly as the facade's BuildOrder: order.ConstructDefault.
 // hit reports whether the order was served from cache.
@@ -338,7 +494,7 @@ func (e *Engine) OrderFor(g *graph.Graph, r int) (*order.Order, bool, error) {
 }
 
 func (e *Engine) orderFor(ctx context.Context, g *graph.Graph, gen uint64, r int) (*order.Order, bool, error) {
-	v, hit, err := e.cache.getOrBuild(ctx, substrateKey{gen: gen, kind: kindOrder, a: r}, func() (any, error) {
+	v, hit, err := e.getSubstrate(ctx, substrateKey{gen: gen, kind: kindOrder, a: r}, func() (any, error) {
 		workers := e.substrateWorkerCount()
 		return e.cache.timedBuild(func() any {
 			opts := order.DefaultOptions(r)
@@ -355,12 +511,13 @@ func (e *Engine) orderFor(ctx context.Context, g *graph.Graph, gen uint64, r int
 // wreachFor returns the (cached) weak s-reachability sets of the order for
 // radius orderR — the substrate behind both wcol measurements and covers.
 // Building it reuses (or builds) the cached order.  The nested fetch runs
-// detached from the requester's context: a build is shared work — if it
-// adopted one requester's deadline, that requester's timeout would be
-// recorded as the build's error and handed to every coalesced waiter.
+// under admittedCtx, detached from the requester's context: a build is
+// shared work — if it adopted one requester's deadline, that requester's
+// timeout would be recorded as the build's error and handed to every
+// coalesced waiter.
 func (e *Engine) wreachFor(ctx context.Context, g *graph.Graph, gen uint64, orderR, s int) ([][]int, bool, error) {
-	v, hit, err := e.cache.getOrBuild(ctx, substrateKey{gen: gen, kind: kindWReach, a: orderR, b: s}, func() (any, error) {
-		o, _, err := e.orderFor(context.Background(), g, gen, orderR)
+	v, hit, err := e.getSubstrate(ctx, substrateKey{gen: gen, kind: kindWReach, a: orderR, b: s}, func() (any, error) {
+		o, _, err := e.orderFor(admittedCtx, g, gen, orderR)
 		if err != nil {
 			return nil, err
 		}

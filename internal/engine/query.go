@@ -304,16 +304,17 @@ type coverSubstrate struct {
 }
 
 func (e *Engine) coverFor(ctx context.Context, g *graph.Graph, gen uint64, r int) (*coverSubstrate, bool, error) {
-	v, hit, err := e.cache.getOrBuild(ctx, substrateKey{gen: gen, kind: kindCover, a: r}, func() (any, error) {
-		// Detached context: see wreachFor — a shared build must not inherit
-		// one requester's deadline.  The cover inverts the cached
-		// weak-reachability sets (shared with wcol measurements) instead of
-		// sweeping the graph again.
-		sets2r, _, err := e.wreachFor(context.Background(), g, gen, r, 2*r)
+	v, hit, err := e.getSubstrate(ctx, substrateKey{gen: gen, kind: kindCover, a: r}, func() (any, error) {
+		// admittedCtx: see wreachFor — a shared build must not inherit one
+		// requester's deadline, and nested fetches run on the parent build's
+		// admission slot.  The cover inverts the cached weak-reachability
+		// sets (shared with wcol measurements) instead of sweeping the graph
+		// again.
+		sets2r, _, err := e.wreachFor(admittedCtx, g, gen, r, 2*r)
 		if err != nil {
 			return nil, err
 		}
-		setsR, _, err := e.wreachFor(context.Background(), g, gen, r, r)
+		setsR, _, err := e.wreachFor(admittedCtx, g, gen, r, r)
 		if err != nil {
 			return nil, err
 		}

@@ -13,6 +13,15 @@ type statsCollector struct {
 	errors     atomic.Uint64
 	timeouts   atomic.Uint64
 	queryNanos atomic.Int64
+	// mutations counts effective Mutate calls across all graphs.
+	mutations atomic.Uint64
+	// compactions counts delta-overlay compactions triggered by Mutate; an
+	// engine-lifetime counter, unlike the per-graph Dynamic stats, so it
+	// survives graph removal and re-registration.
+	compactions atomic.Uint64
+	// rebuildWaits counts substrate fetches that had to wait for a
+	// rebuild-admission slot (the guard was saturated).
+	rebuildWaits atomic.Uint64
 
 	mu      sync.Mutex
 	perKind map[Kind]uint64
@@ -31,6 +40,23 @@ func (s *statsCollector) countKind(k Kind) {
 type KindCount struct {
 	Kind  Kind   `json:"kind"`
 	Count uint64 `json:"count"`
+}
+
+// GraphStat is the per-graph slice of Stats: the current topology, cache
+// generation and mutation counters of one registered graph.
+type GraphStat struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+	// Gen is the substrate-cache generation (bumped on re-registration and
+	// on every effective mutation).
+	Gen uint64 `json:"gen"`
+	// Mutations counts effective Mutate calls on this graph.
+	Mutations uint64 `json:"mutations"`
+	// PendingDelta is the graph's current delta-overlay size in half-edges.
+	PendingDelta int `json:"pending_delta"`
+	// Compactions counts overlay-into-CSR folds for this graph.
+	Compactions uint64 `json:"compactions"`
 }
 
 // Stats is a point-in-time snapshot of the engine's counters.
@@ -61,29 +87,72 @@ type Stats struct {
 	// (excluding queueing).
 	QueryMSTotal float64     `json:"query_ms_total"`
 	PerKind      []KindCount `json:"per_kind,omitempty"`
+
+	// Dynamic graphs.
+
+	// Mutations counts effective Mutate calls across all graphs.
+	Mutations uint64 `json:"mutations"`
+	// Compactions totals delta-overlay compactions over the engine's
+	// lifetime (it never decreases, even when graphs are removed or
+	// re-registered; per-graph counts live in GraphStats).
+	Compactions uint64 `json:"compactions"`
+	// RebuildWaits counts substrate fetches that waited for a
+	// rebuild-admission slot.
+	RebuildWaits uint64 `json:"rebuild_waits"`
+	// MaxConcurrentRebuilds echoes the admission guard's capacity.
+	MaxConcurrentRebuilds int `json:"max_concurrent_rebuilds"`
+	// GraphStats lists per-graph generations and mutation counters, sorted
+	// by name.
+	GraphStats []GraphStat `json:"graph_stats,omitempty"`
 }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
+	// Snapshot the registry under the lock; each entry's (Gen, N, M) triple
+	// is then read consistently via entryInfo (under its mutation mutex).
 	e.mu.Lock()
 	graphs := len(e.graphs)
+	entries := make([]*graphEntry, 0, len(e.graphs))
+	for _, ent := range e.graphs {
+		entries = append(entries, ent)
+	}
 	e.mu.Unlock()
 	misses := e.cache.misses.Load()
 	st := Stats{
-		Graphs:          graphs,
-		CacheEntries:    e.cache.len(),
-		CacheCapacity:   e.cache.capacity,
-		CacheHits:       e.cache.hits.Load(),
-		CacheMisses:     misses,
-		Coalesced:       e.cache.coalesced.Load(),
-		Evictions:       e.cache.evictions.Load(),
-		SubstrateBuilds: misses,
-		BuildMSTotal:    float64(e.cache.buildNanos.Load()) / 1e6,
-		Queries:         e.stats.queries.Load(),
-		Errors:          e.stats.errors.Load(),
-		Timeouts:        e.stats.timeouts.Load(),
-		QueryMSTotal:    float64(e.stats.queryNanos.Load()) / 1e6,
+		Graphs:                graphs,
+		CacheEntries:          e.cache.len(),
+		CacheCapacity:         e.cache.capacity,
+		CacheHits:             e.cache.hits.Load(),
+		CacheMisses:           misses,
+		Coalesced:             e.cache.coalesced.Load(),
+		Evictions:             e.cache.evictions.Load(),
+		SubstrateBuilds:       misses,
+		BuildMSTotal:          float64(e.cache.buildNanos.Load()) / 1e6,
+		Queries:               e.stats.queries.Load(),
+		Errors:                e.stats.errors.Load(),
+		Timeouts:              e.stats.timeouts.Load(),
+		QueryMSTotal:          float64(e.stats.queryNanos.Load()) / 1e6,
+		Mutations:             e.stats.mutations.Load(),
+		Compactions:           e.stats.compactions.Load(),
+		RebuildWaits:          e.stats.rebuildWaits.Load(),
+		MaxConcurrentRebuilds: e.cfg.MaxConcurrentRebuilds,
 	}
+	graphStats := make([]GraphStat, len(entries))
+	for i, ent := range entries {
+		gs := &graphStats[i]
+		ent.mutMu.Lock()
+		dst := ent.dyn.Stats()
+		e.mu.Lock()
+		gs.Gen = ent.gen
+		e.mu.Unlock()
+		ent.mutMu.Unlock()
+		gs.Name = ent.name
+		gs.Mutations = ent.mutations.Load()
+		gs.N, gs.M = dst.N, dst.M
+		gs.PendingDelta, gs.Compactions = dst.PendingDelta, dst.Compactions
+	}
+	st.GraphStats = graphStats
+	sort.Slice(st.GraphStats, func(i, j int) bool { return st.GraphStats[i].Name < st.GraphStats[j].Name })
 	e.stats.mu.Lock()
 	for k, c := range e.stats.perKind {
 		st.PerKind = append(st.PerKind, KindCount{Kind: k, Count: c})
