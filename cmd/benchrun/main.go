@@ -62,6 +62,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchrun: -compare needs exactly one candidate snapshot argument")
 			os.Exit(2)
 		}
+		if *threshold <= 0 {
+			fmt.Fprintf(os.Stderr, "benchrun: -threshold must be positive, got %v\n", *threshold)
+			os.Exit(2)
+		}
 		if err := compareSnapshots(*compare, flag.Arg(0), *threshold, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrun:", err)
 			os.Exit(1)

@@ -6,10 +6,17 @@
 // concurrent load), and queries run on a bounded worker pool with per-query
 // timeouts.
 //
+// With -data-dir the daemon is durable: registrations are snapshotted,
+// every applied delta is written ahead to a WAL before the mutation is
+// acknowledged, a background checkpointer compacts the WAL into fresh
+// snapshots, and a restart — graceful or kill -9 — recovers the exact
+// pre-death topologies and answers queries byte-identically.
+//
 // Usage:
 //
-//	domserved                          # listen on :8377
+//	domserved                          # listen on :8377, in-memory only
 //	domserved -addr :9000 -cache 256 -workers 8 -timeout 30s
+//	domserved -data-dir /var/lib/domserved -checkpoint-interval 1m
 //
 // Endpoints (all JSON):
 //
@@ -23,11 +30,17 @@
 //	POST   /graphs/{name}/edges  {"add":[[0,5]],"remove":[[0,1]],"add_vertices":2}
 //	POST   /query                {"graph":"g","kind":"domset","r":2}
 //	POST   /batch                {"queries":[{...},{...}]}
+//	POST   /admin/checkpoint     fold the WAL into fresh snapshots now
 //	GET    /stats                cache and executor counters, per-graph
-//	                             generations / compactions / rebuilds
+//	                             generations, persistence counters
 //	GET    /healthz              liveness probe
 //
 // Query kinds: domset, cds, cover, greedy, dist-domset, dist-cds.
+//
+// On SIGINT/SIGTERM the daemon drains in-flight requests
+// (http.Server.Shutdown with a timeout), then takes a final checkpoint and
+// seals the WAL before exiting, so a graceful stop leaves a compact data
+// directory that recovers without replay.
 package main
 
 import (
@@ -47,22 +60,41 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8377", "listen address")
-		cache   = flag.Int("cache", 128, "substrate cache capacity (LRU entries)")
-		workers = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "queued-query bound (0 = 4×workers)")
-		timeout = flag.Duration("timeout", 0, "default per-query timeout (0 = none)")
-		subWkrs = flag.Int("substrate-workers", 0, "goroutines per substrate build (0 = GOMAXPROCS; outputs are identical for any value)")
+		addr     = flag.String("addr", ":8377", "listen address")
+		cache    = flag.Int("cache", 128, "substrate cache capacity (LRU entries)")
+		workers  = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "queued-query bound (0 = 4×workers)")
+		timeout  = flag.Duration("timeout", 0, "default per-query timeout (0 = none)")
+		subWkrs  = flag.Int("substrate-workers", 0, "goroutines per substrate build (0 = GOMAXPROCS; outputs are identical for any value)")
+		dataDir  = flag.String("data-dir", "", "data directory for durable persistence (empty = in-memory only)")
+		ckptIntv = flag.Duration("checkpoint-interval", time.Minute, "background WAL-compaction cadence for -data-dir (0 = only explicit /admin/checkpoint)")
 	)
 	flag.Parse()
 
-	eng := engine.New(engine.Config{
-		CacheEntries:     *cache,
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		DefaultTimeout:   *timeout,
-		SubstrateWorkers: *subWkrs,
-	})
+	cfg := engine.Config{
+		CacheEntries:       *cache,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		DefaultTimeout:     *timeout,
+		SubstrateWorkers:   *subWkrs,
+		CheckpointInterval: *ckptIntv,
+	}
+	var (
+		eng *engine.Engine
+		err error
+	)
+	if *dataDir != "" {
+		eng, err = engine.Open(*dataDir, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "domserved:", err)
+			os.Exit(1)
+		}
+		st := eng.Stats()
+		log.Printf("domserved: data dir %s: recovered %d graph(s), replayed %d WAL record(s)",
+			*dataDir, st.Graphs, st.Persist.ReplayedRecords)
+	} else {
+		eng = engine.New(cfg)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -86,6 +118,18 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Printf("domserved: shutdown: %v", err)
+		}
+		// Final durability pass after the HTTP surface has drained: fold the
+		// WAL into fresh snapshots so the next start recovers without
+		// replay.  Engine.Close then seals the WAL (flushing any tail) and
+		// releases the data directory.
+		if *dataDir != "" {
+			if info, err := eng.Checkpoint(); err != nil {
+				log.Printf("domserved: final checkpoint: %v", err)
+			} else {
+				log.Printf("domserved: final checkpoint: %d graph(s) snapshotted, %d WAL segment(s) removed",
+					info.Graphs, info.SegmentsRemoved)
+			}
 		}
 		eng.Close()
 	case err := <-errc:

@@ -52,6 +52,7 @@ func newServer(eng *engine.Engine) http.Handler {
 	mux.HandleFunc("POST /graphs/{name}/edges", s.handleMutate)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -342,8 +343,15 @@ func (s *server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleRemoveGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.eng.Remove(name) {
+	ok, err := s.eng.Remove(name)
+	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
+		return
+	}
+	if err != nil {
+		// The graph is gone from the live engine but not from disk: do not
+		// ack a removal a restart would undo.
+		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
@@ -495,6 +503,22 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		"errors":     errs,
 		"elapsed_ms": float64(time.Since(start)) / float64(time.Millisecond),
 	})
+}
+
+// handleCheckpoint folds the WAL into fresh snapshots on demand (the
+// background checkpointer does the same on its interval).  On an in-memory
+// daemon (no -data-dir) it reports 409: there is nothing to persist to.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	info, err := s.eng.Checkpoint()
+	if err != nil {
+		if errors.Is(err, engine.ErrNoStore) {
+			httpError(w, http.StatusConflict, "persistence is not enabled (start with -data-dir)")
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -505,3 +505,184 @@ func TestConcurrentQueriesSingleBuild(t *testing.T) {
 		t.Fatalf("%d substrate builds for identical concurrent queries, want 2 (stats %+v)", st.SubstrateBuilds, st)
 	}
 }
+
+// --- NDJSON streaming-ingest error paths ---------------------------------
+
+// postNDJSON posts body as an NDJSON registration stream.
+func postNDJSON(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/graphs", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// assertNotRegistered fails if name shows up in the graph listing: a stream
+// that errors mid-way must leave no partial registration behind.
+func assertNotRegistered(t *testing.T, ts *httptest.Server, name string) {
+	t.Helper()
+	var list struct {
+		Graphs []engine.GraphInfo `json:"graphs"`
+	}
+	doJSON(t, "GET", ts.URL+"/graphs", nil, &list)
+	for _, gi := range list.Graphs {
+		if gi.Name == name {
+			t.Fatalf("graph %q registered despite the stream failing", name)
+		}
+	}
+}
+
+// TestNDJSONStreamErrors covers the mid-stream failure modes of streaming
+// ingest: each must return 400 with a line-identifying message and register
+// nothing — the registration is atomic, all edges or none.
+func TestNDJSONStreamErrors(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		name    string
+		body    string
+		wantMsg string
+	}{
+		{"malformed record mid-stream", "{\"name\":\"bad\",\"n\":6}\n[0,1]\n[1,2\n[2,3]\n", "edge 2"},
+		{"wrong arity short", "{\"name\":\"bad\",\"n\":6}\n[0,1]\n[2]\n", "edge 2"},
+		{"wrong arity long", "{\"name\":\"bad\",\"n\":6}\n[0,1,9]\n", "edge 1"},
+		{"oversized number", "{\"name\":\"bad\",\"n\":6}\n[0,1]\n[1,1e999]\n", "edge 2"},
+		{"out of range endpoint", "{\"name\":\"bad\",\"n\":6}\n[0,1]\n[1,6]\n", "edge 2"},
+		{"self loop", "{\"name\":\"bad\",\"n\":6}\n[3,3]\n", "edge 1"},
+		{"missing header", "[0,1]\n[1,2]\n", "header"},
+		{"header without name", "{\"n\":6}\n[0,1]\n", "name"},
+		{"negative n", "{\"name\":\"bad\",\"n\":-1}\n", "'n' must be"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postNDJSON(t, ts, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(e.Error, tc.wantMsg) {
+				t.Fatalf("error %q does not mention %q", e.Error, tc.wantMsg)
+			}
+			assertNotRegistered(t, ts, "bad")
+		})
+	}
+	// A failed stream must not poison later ingestion of the same name.
+	resp := postNDJSON(t, ts, "{\"name\":\"bad\",\"n\":4}\n[0,1]\n[1,2]\n")
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("clean retry after failures: status %d", resp.StatusCode)
+	}
+}
+
+// errAfterReader yields its prefix, then fails like a connection dropped mid
+// body — the truncated-body case of streaming ingest.
+type errAfterReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *errAfterReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, fmt.Errorf("simulated mid-stream connection loss")
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+func TestNDJSONTruncatedBody(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 2})
+	t.Cleanup(eng.Close)
+	h := newServer(eng)
+
+	body := &errAfterReader{data: []byte("{\"name\":\"trunc\",\"n\":8}\n[0,1]\n[1,2]\n[2,")}
+	req := httptest.NewRequest("POST", "/graphs", body)
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("truncated body: status %d, want 400", rec.Code)
+	}
+	if _, ok := eng.Info("trunc"); ok {
+		t.Fatal("truncated stream left a partial registration")
+	}
+}
+
+// --- Persistence over the HTTP surface -----------------------------------
+
+// persistentServer wires a persistent engine into the handler tree.
+func persistentServer(t *testing.T, dir string) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng, err := engine.Open(dir, engine.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close) // Close is idempotent; tests may also close early
+	ts := httptest.NewServer(newServer(eng))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func TestCheckpointEndpointWithoutDataDir(t *testing.T) {
+	ts := testServer(t)
+	resp := doJSON(t, "POST", ts.URL+"/admin/checkpoint", nil, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint without -data-dir: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestPersistenceRestartRoundTrip is the HTTP-level version of the crash
+// recovery contract: register, mutate, checkpoint via the admin endpoint,
+// kill the daemon (no final checkpoint), restart on the same data dir, and
+// demand the same query answer and the same /stats generation.
+func TestPersistenceRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ts, eng := persistentServer(t, dir)
+	registerGrid(t, ts, "grid", 144)
+	var mut engine.MutationInfo
+	doJSON(t, "POST", ts.URL+"/graphs/grid/edges",
+		map[string]any{"add": [][]int{{0, 5}, {2, 9}}, "remove": [][]int{{0, 1}}, "add_vertices": 1}, &mut)
+	if mut.EdgesAdded != 2 || mut.EdgesRemoved != 1 {
+		t.Fatalf("mutation %+v", mut)
+	}
+	var ck engine.CheckpointInfo
+	if resp := doJSON(t, "POST", ts.URL+"/admin/checkpoint", nil, &ck); resp.StatusCode != http.StatusOK || ck.Graphs != 1 {
+		t.Fatalf("admin checkpoint: %d %+v", resp.StatusCode, ck)
+	}
+	// One more delta AFTER the checkpoint so recovery exercises replay too.
+	doJSON(t, "POST", ts.URL+"/graphs/grid/edges", map[string]any{"add": [][]int{{7, 30}}}, &mut)
+
+	var before queryResponse
+	doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "domset", "r": 2}, &before)
+	var stBefore engine.Stats
+	doJSON(t, "GET", ts.URL+"/stats", nil, &stBefore)
+	if stBefore.Persist == nil || stBefore.Persist.WALRecords == 0 {
+		t.Fatalf("persist stats missing before restart: %+v", stBefore.Persist)
+	}
+	ts.Close()
+	eng.Close() // seals the WAL; recovery still replays the last record
+
+	ts2, _ := persistentServer(t, dir)
+	var after queryResponse
+	doJSON(t, "POST", ts2.URL+"/query", map[string]any{"graph": "grid", "kind": "domset", "r": 2}, &after)
+	if after.Error != "" || after.Size != before.Size || fmt.Sprint(after.Set) != fmt.Sprint(before.Set) ||
+		after.Wcol != before.Wcol || after.LowerBound != before.LowerBound {
+		t.Fatalf("restarted answers diverge:\nbefore %+v\nafter  %+v", before, after)
+	}
+	var stAfter engine.Stats
+	doJSON(t, "GET", ts2.URL+"/stats", nil, &stAfter)
+	if len(stAfter.GraphStats) != 1 || len(stBefore.GraphStats) != 1 ||
+		stAfter.GraphStats[0].Gen != stBefore.GraphStats[0].Gen ||
+		stAfter.GraphStats[0].N != stBefore.GraphStats[0].N ||
+		stAfter.GraphStats[0].M != stBefore.GraphStats[0].M {
+		t.Fatalf("generations diverge: before %+v after %+v", stBefore.GraphStats, stAfter.GraphStats)
+	}
+	if stAfter.Persist.Recovered.Graphs != 1 || stAfter.Persist.ReplayedRecords != 1 {
+		t.Fatalf("recovery stats %+v", stAfter.Persist)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"bedom/internal/dist"
 	"bedom/internal/graph"
 	"bedom/internal/order"
+	"bedom/internal/store"
 )
 
 // Engine errors.
@@ -81,6 +82,12 @@ type Config struct {
 	// half-edges) at which pending mutations are folded into a fresh CSR
 	// base (see graph.Dynamic).  0 = graph.DefaultCompactionThreshold.
 	CompactionThreshold int
+	// CheckpointInterval is the cadence of the background checkpointer of a
+	// persistent engine (see Open): the WAL is folded into fresh snapshots
+	// whenever it advanced since the previous cycle.  0 disables the
+	// background loop (Checkpoint can still be called explicitly).  Ignored
+	// by New — only Open starts the checkpointer.
+	CheckpointInterval time.Duration
 }
 
 func (c Config) normalised() Config {
@@ -116,9 +123,21 @@ type graphEntry struct {
 	// mutMu makes a mutation's apply → generation bump → purge atomic with
 	// respect to resolve's (snapshot, generation) read: a query can never
 	// pair one topology with another topology's generation — in either
-	// direction — which is what keeps pre-purge cache hits safe.
+	// direction — which is what keeps pre-purge cache hits safe.  On a
+	// persistent engine it additionally covers the WAL tee (apply → append
+	// keeps per-graph log order equal to apply order) and the checkpoint
+	// snapshot write (a consistent topology/coveredLSN pair).
 	mutMu     sync.Mutex
 	mutations atomic.Uint64
+
+	// epoch identifies this registration in the persistence layer: WAL
+	// records carry it, so recovery never replays deltas of an earlier
+	// registration of the same name.  0 on non-persistent engines.
+	epoch uint64
+	// lastLSN is the WAL position of this graph's most recent logged delta
+	// (guarded by mutMu); checkpoints persist it as the snapshot's covered
+	// position.
+	lastLSN uint64
 }
 
 // info builds the entry's GraphInfo from the live overlay counters — one
@@ -178,6 +197,19 @@ type Engine struct {
 	graphs  map[string]*graphEntry
 	anon    map[weak.Pointer[graph.Graph]]anonHandle
 	nextGen uint64
+
+	// Persistence (nil/zero on engines constructed with New; see Open).
+	store       *store.Store
+	ckptMu      sync.Mutex // serializes Checkpoint with Register/Remove
+	ckptStop    chan struct{}
+	ckptDone    chan struct{}
+	ckptRan     atomic.Bool
+	lastCkptLSN atomic.Uint64
+	closeOnce   sync.Once
+	// replayed/replaySkipped count WAL records applied/skipped during Open
+	// (immutable once the engine is returned).
+	replayed      int
+	replaySkipped int
 }
 
 // admittedKey marks a context as belonging to a substrate build that
@@ -256,6 +288,11 @@ func (e *Engine) substrateWorkerCount() int {
 // discarded engine's cached substrates would stay reachable for as long as
 // any graph it ever served is alive.
 func (e *Engine) Close() {
+	// Stop the checkpointer and seal the WAL first: a checkpoint running
+	// concurrently with the teardown below would snapshot a registry being
+	// cleared.  Buffered-but-unsynced WAL records are flushed here, so a
+	// graceful close never loses an acknowledged mutation.
+	e.closePersistence()
 	e.exec.close()
 	e.cache.clear()
 	e.mu.Lock()
@@ -281,18 +318,49 @@ func (e *Engine) Register(name string, g *graph.Graph) (GraphInfo, error) {
 		return GraphInfo{}, fmt.Errorf("%w: nil graph", ErrInvalidRequest)
 	}
 	dyn := graph.NewDynamic(g, e.cfg.CompactionThreshold)
+	// Counts below come from the Dynamic, not the caller's graph: an
+	// unfinalized graph's M() may still include duplicate lazy insertions
+	// that the finalized clone behind dyn has already deduplicated.
+	if e.store == nil {
+		// Generation assignment and publication share one critical section,
+		// so racing same-name registrations always publish in generation
+		// order (a graph's gen never visibly decreases).
+		e.mu.Lock()
+		if old, ok := e.graphs[name]; ok {
+			defer e.cache.purge(old.gen)
+		}
+		e.nextGen++
+		gen := e.nextGen
+		ent := &graphEntry{name: name, gen: gen, dyn: dyn}
+		e.graphs[name] = ent
+		e.mu.Unlock()
+		return ent.info(gen), nil
+	}
+	// Persistent path: the snapshot is written (durably, temp+rename) before
+	// the registry publishes the name, so a graph the engine acknowledged
+	// can never be missing after a crash.  ckptMu is held across generation
+	// assignment, snapshot write AND publication: racing registrations are
+	// serialized end-to-end, so the on-disk epoch order always matches the
+	// registry's publication order (the losing epoch can't remain on disk
+	// while the winner serves mutations), generations publish in order, and
+	// a concurrent checkpoint cannot interleave a rewrite.
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	e.mu.Lock()
+	e.nextGen++
+	gen := e.nextGen
+	e.mu.Unlock()
+	epoch, covered, err := e.persistRegistration(name, gen, dyn)
+	if err != nil {
+		return GraphInfo{}, err
+	}
 	e.mu.Lock()
 	if old, ok := e.graphs[name]; ok {
 		defer e.cache.purge(old.gen)
 	}
-	e.nextGen++
-	gen := e.nextGen
-	ent := &graphEntry{name: name, gen: gen, dyn: dyn}
+	ent := &graphEntry{name: name, gen: gen, dyn: dyn, epoch: epoch, lastLSN: covered}
 	e.graphs[name] = ent
 	e.mu.Unlock()
-	// Counts come from the Dynamic, not the caller's graph: an unfinalized
-	// graph's M() may still include duplicate lazy insertions that the
-	// finalized clone behind dyn has already deduplicated.
 	return ent.info(gen), nil
 }
 
@@ -332,8 +400,18 @@ func (e *Engine) Info(name string) (GraphInfo, bool) {
 	return e.entryInfo(ent), true
 }
 
-// Remove unregisters name and purges its cached substrates.
-func (e *Engine) Remove(name string) bool {
+// Remove unregisters name and purges its cached substrates; ok reports
+// whether the name was registered.  On a persistent engine the graph's
+// snapshot is deleted too, so the removal survives a restart (orphaned WAL
+// records of the removed graph are skipped at replay).  A non-nil error
+// means the graph is gone from the live engine but its snapshot could not
+// be deleted — a restart would resurrect it — so callers must not
+// acknowledge the removal as durable.
+func (e *Engine) Remove(name string) (ok bool, err error) {
+	if e.store != nil {
+		e.ckptMu.Lock()
+		defer e.ckptMu.Unlock()
+	}
 	e.mu.Lock()
 	ent, ok := e.graphs[name]
 	var gen uint64
@@ -343,9 +421,18 @@ func (e *Engine) Remove(name string) bool {
 	}
 	e.mu.Unlock()
 	if ok {
+		if e.store != nil {
+			// ckptMu (held since entry) excludes the whole checkpoint
+			// cycle, so no in-flight checkpoint write of this entry can
+			// land after this deletion and resurrect the graph.
+			if derr := e.store.DeleteSnapshot(name); derr != nil {
+				e.stats.persistErrors.Add(1)
+				err = fmt.Errorf("engine: graph %q removed but its snapshot was not deleted (a restart would restore it): %w", name, derr)
+			}
+		}
 		e.cache.purge(gen)
 	}
-	return ok
+	return ok, err
 }
 
 // GraphCount returns the number of registered graphs (cheaper than Graphs

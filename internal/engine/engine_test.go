@@ -46,8 +46,11 @@ func TestRegistry(t *testing.T) {
 	if list := e.Graphs(); len(list) != 1 || list[0].Name != "grid" {
 		t.Fatalf("Graphs: %+v", list)
 	}
-	if !e.Remove("grid") || e.Remove("grid") {
-		t.Fatal("Remove")
+	if ok, err := e.Remove("grid"); !ok || err != nil {
+		t.Fatalf("Remove: %v %v", ok, err)
+	}
+	if ok, _ := e.Remove("grid"); ok {
+		t.Fatal("double Remove reported ok")
 	}
 	if _, err := e.Do(context.Background(), Request{Graph: "grid", Kind: KindDominatingSet, R: 1}); !errors.Is(err, ErrUnknownGraph) {
 		t.Fatalf("query on removed graph: %v", err)

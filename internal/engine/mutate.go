@@ -77,7 +77,8 @@ func (e *Engine) Mutate(name string, delta Delta) (MutationInfo, error) {
 		// substrates are already purged and the applied topology is
 		// unreachable.  Distinguish a removed name (404-shaped) from one
 		// that was concurrently re-registered (a retryable conflict — the
-		// name still exists, just backed by a different graph).
+		// name still exists, just backed by a different graph).  Nothing is
+		// logged: an orphaned record would only be skipped at replay.
 		e.mu.Unlock()
 		if cur != nil {
 			return MutationInfo{}, fmt.Errorf("%w: graph %q was re-registered during the mutation; retry against the new graph", ErrConflict, name)
@@ -89,6 +90,26 @@ func (e *Engine) Mutate(name string, delta Delta) (MutationInfo, error) {
 	ent.gen = e.nextGen
 	gen := ent.gen
 	e.mu.Unlock()
+
+	// Tee the effective delta into the WAL before acknowledging: Mutate
+	// returns only once the record is durable (group-commit fsync), so every
+	// acknowledged mutation survives a crash.  Running under mutMu keeps the
+	// per-graph log order identical to the apply order, and the record
+	// carries the generation just assigned, so replay restores /stats
+	// generations verbatim.  If the append fails, the in-memory state is
+	// already mutated and cannot be rolled back — the purge below still runs
+	// (queries must see the new topology) and the durability failure is
+	// surfaced afterwards.
+	var teeErr error
+	if e.store != nil {
+		lsn, err := e.store.AppendDelta(name, ent.epoch, gen, delta)
+		if err != nil {
+			e.stats.persistErrors.Add(1)
+			teeErr = fmt.Errorf("engine: delta applied but not persisted: %w", err)
+		} else {
+			ent.lastLSN = lsn
+		}
+	}
 	info.Graph = ent.info(gen)
 
 	ent.mutations.Add(1)
@@ -97,5 +118,5 @@ func (e *Engine) Mutate(name string, delta Delta) (MutationInfo, error) {
 		e.stats.compactions.Add(1)
 	}
 	info.InvalidatedSubstrates = e.cache.purge(oldGen)
-	return info, nil
+	return info, teeErr
 }

@@ -446,7 +446,9 @@ func TestEngineCompactionThreshold(t *testing.T) {
 		t.Fatalf("compaction stats: %+v", st)
 	}
 	// The engine-level total is a lifetime counter: it survives removal.
-	e.Remove("g")
+	if ok, err := e.Remove("g"); !ok || err != nil {
+		t.Fatalf("Remove: %v %v", ok, err)
+	}
 	if got := e.Stats().Compactions; got != 1 {
 		t.Fatalf("Compactions dropped to %d after graph removal", got)
 	}

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"bedom/internal/store"
 )
 
 // statsCollector accumulates engine-level counters (cache counters live on
@@ -22,6 +24,9 @@ type statsCollector struct {
 	// rebuildWaits counts substrate fetches that had to wait for a
 	// rebuild-admission slot (the guard was saturated).
 	rebuildWaits atomic.Uint64
+	// persistErrors counts persistence failures (snapshot writes, WAL
+	// appends, checkpoint steps) on engines with a data directory.
+	persistErrors atomic.Uint64
 
 	mu      sync.Mutex
 	perKind map[Kind]uint64
@@ -104,6 +109,26 @@ type Stats struct {
 	// GraphStats lists per-graph generations and mutation counters, sorted
 	// by name.
 	GraphStats []GraphStat `json:"graph_stats,omitempty"`
+
+	// Persist holds the durability counters of a persistent engine (nil on
+	// engines constructed with New).
+	Persist *PersistStats `json:"persist,omitempty"`
+}
+
+// PersistStats is the persistence slice of Stats: the store's counters plus
+// the engine-side replay and failure accounting.
+type PersistStats struct {
+	store.Stats
+	// ReplayedRecords / SkippedRecords count WAL records applied / skipped
+	// (wrong epoch, covered by a snapshot, or orphaned) during Open.
+	ReplayedRecords int `json:"replayed_records"`
+	SkippedRecords  int `json:"skipped_records"`
+	// LastCheckpointLSN is the WAL position after the most recent completed
+	// checkpoint (0 before the first).
+	LastCheckpointLSN uint64 `json:"last_checkpoint_lsn"`
+	// Errors counts persistence failures (snapshot writes, WAL appends,
+	// checkpoint steps) since the engine started.
+	Errors uint64 `json:"errors"`
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -153,6 +178,15 @@ func (e *Engine) Stats() Stats {
 	}
 	st.GraphStats = graphStats
 	sort.Slice(st.GraphStats, func(i, j int) bool { return st.GraphStats[i].Name < st.GraphStats[j].Name })
+	if e.store != nil {
+		st.Persist = &PersistStats{
+			Stats:             e.store.Stats(),
+			ReplayedRecords:   e.replayed,
+			SkippedRecords:    e.replaySkipped,
+			LastCheckpointLSN: e.lastCkptLSN.Load(),
+			Errors:            e.stats.persistErrors.Load(),
+		}
+	}
 	e.stats.mu.Lock()
 	for k, c := range e.stats.perKind {
 		st.PerKind = append(st.PerKind, KindCount{Kind: k, Count: c})

@@ -158,6 +158,7 @@ func All() []Experiment {
 		{"E6", "LOCAL-model connector blow-up (Lemma 16)", E6LocalConnector},
 		{"E7", "Planar constant-round connected MDS (Theorem 17 + Lenzen et al.)", E7PlanarLocalCDS},
 		{"E8", "Ablation: augmentation depth of the order construction", E8AugmentationAblation},
+		{"E9", "Persistence codec compactness and WAL replay fidelity (internal/store)", E9PersistenceCodec},
 	}
 }
 

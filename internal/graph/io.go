@@ -30,6 +30,16 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 
 // ReadEdgeList parses a graph in the format produced by WriteEdgeList.
 // Blank lines and lines starting with '#' or '%' are ignored.
+//
+// The parser is strict: every non-comment line must be exactly the header
+// ("n" or "n m") or exactly one edge ("u v") — a line with extra or missing
+// fields, a non-numeric field, an out-of-range endpoint or a self-loop fails
+// with an error naming the offending 1-based line.  Nothing is silently
+// skipped.  The header's edge count m is validated as a non-negative integer
+// but otherwise advisory: duplicate edge lines (in either orientation)
+// collapse to a single undirected edge at finalization, so the parsed graph
+// may have fewer edges than the header declares.  Self-loops are never
+// accepted (the library models simple graphs).
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	return ReadEdgeListLimit(r, 0)
 }
@@ -51,12 +61,20 @@ func ReadEdgeListLimit(r io.Reader, maxVertices int) (*Graph, error) {
 		}
 		fields := strings.Fields(text)
 		if g == nil {
-			if len(fields) < 1 {
-				return nil, fmt.Errorf("graph: line %d: expected header 'n [m]'", line)
+			if len(fields) == 0 || len(fields) > 2 {
+				return nil, fmt.Errorf("graph: line %d: expected header 'n [m]', got %d fields", line, len(fields))
 			}
 			n, err := strconv.Atoi(fields[0])
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", line, fields[0])
+			}
+			if len(fields) == 2 {
+				// The declared edge count is advisory (duplicates collapse at
+				// finalization) but must still be a well-formed count — a
+				// malformed header should fail loudly, not parse as garbage.
+				if m, err := strconv.Atoi(fields[1]); err != nil || m < 0 {
+					return nil, fmt.Errorf("graph: line %d: bad edge count %q", line, fields[1])
+				}
 			}
 			if maxVertices > 0 && n > maxVertices {
 				return nil, fmt.Errorf("graph: line %d: vertex count %d exceeds the limit %d", line, n, maxVertices)
@@ -64,8 +82,8 @@ func ReadEdgeListLimit(r io.Reader, maxVertices int) (*Graph, error) {
 			g = New(n)
 			continue
 		}
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: expected edge 'u v'", line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: expected edge 'u v', got %d fields", line, len(fields))
 		}
 		u, err1 := strconv.Atoi(fields[0])
 		v, err2 := strconv.Atoi(fields[1])

@@ -47,20 +47,55 @@ func TestReadEdgeListCommentsAndBlankLines(t *testing.T) {
 }
 
 func TestReadEdgeListErrors(t *testing.T) {
-	cases := []string{
-		"",               // empty
-		"abc",            // bad header
-		"-3",             // negative n
-		"3\n0",           // truncated edge
-		"3\n0 x",         // non-numeric endpoint
-		"3\n0 5",         // out of range
-		"3\n1 1",         // self loop
-		"# only comment", // no header at all
+	// Table-driven over the malformed-line space: every case must fail, and
+	// with the 1-based line number of the offending line in the message —
+	// nothing is silently skipped.
+	cases := []struct {
+		name     string
+		input    string
+		wantLine string // "" when no line is attributable (empty input)
+	}{
+		{"empty", "", ""},
+		{"only comment", "# only comment", ""},
+		{"bad header", "abc", "line 1"},
+		{"negative n", "-3", "line 1"},
+		{"header extra fields", "3 2 junk", "line 1"},
+		{"header bad edge count", "3 x", "line 1"},
+		{"header negative edge count", "3 -1", "line 1"},
+		{"truncated edge", "3\n0", "line 2"},
+		{"edge extra fields", "3 1\n0 1 2", "line 2"},
+		{"non-numeric endpoint", "3\n0 x", "line 2"},
+		{"out of range", "3\n0 5", "line 2"},
+		{"negative endpoint", "3\n0 -1", "line 2"},
+		{"self loop", "3\n1 1", "line 2"},
+		{"error after comments", "# c\n\n3 1\n0 1\n0 1 7", "line 5"},
 	}
-	for _, in := range cases {
-		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
-			t.Fatalf("input %q: expected error", in)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadEdgeList(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("input %q: expected error", tc.input)
+			}
+			if tc.wantLine != "" && !strings.Contains(err.Error(), tc.wantLine) {
+				t.Fatalf("input %q: error %q does not name %q", tc.input, err, tc.wantLine)
+			}
+		})
+	}
+}
+
+// TestReadEdgeListDuplicatePolicy pins the documented policy: duplicate edge
+// lines — in either orientation — collapse silently to one undirected edge,
+// while self-loops always error.
+func TestReadEdgeListDuplicatePolicy(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("4 5\n0 1\n0 1\n1 0\n2 3\n3 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("duplicates must collapse: got %v, want n=4 m=2", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 

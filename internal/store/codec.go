@@ -1,0 +1,366 @@
+// Package store is the durable persistence layer behind the query engine:
+// a versioned, checksummed binary snapshot codec for finalized CSR graphs, an
+// append-only delta write-ahead log (WAL) with group-commit fsync batching,
+// and the directory layout + recovery scan that ties them together.
+//
+// The paper's pipelines (orders, weak-reachability sets, covers) are cheap to
+// *query* but expensive to *build* — the observation both Kublenz–Siebertz–
+// Vigny (2021) and Heydt et al. (2022) rest on — so the engine caches them
+// per graph generation.  This package makes the inputs of those builds
+// survive a process death: graph topologies are persisted as snapshots,
+// every applied delta is teed into the WAL, and a restarted engine replays
+// snapshot+WAL into exactly the topology it served before the crash.  The
+// substrate pipeline is deterministic (DESIGN.md §6), so identical topology
+// means byte-identical orders, dominating sets and covers after restart.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"bedom/internal/graph"
+)
+
+// Snapshot file format (all multi-byte integers little-endian, varints are
+// unsigned LEB128 as produced by encoding/binary.AppendUvarint):
+//
+//	magic   "BDSN" (4 bytes)
+//	version uint16 (currently 1)
+//	flags   uint16 (reserved, 0)
+//	sections, each:
+//	    tag     byte
+//	    length  uvarint (payload bytes)
+//	    payload length bytes
+//	    crc     uint32, CRC-32C (Castagnoli) of the payload
+//	terminated by the END section (empty payload).
+//
+// Sections appear in a fixed order: META, OFFSETS, TARGETS, END.
+//
+//	META    = name (uvarint length + bytes), epoch, covered LSN, generation,
+//	          n, m (all uvarint)
+//	OFFSETS = n uvarints: the degree of each vertex (the CSR offsets array is
+//	          their prefix sum — degrees are small, offsets are not, so the
+//	          delta form packs tighter)
+//	TARGETS = per vertex: first neighbor as uvarint, then the gaps to each
+//	          following neighbor (strictly positive — CSR rows are strictly
+//	          sorted)
+//
+// Decoding rebuilds off/tgt exactly and hands them to graph.FromCSR, so a
+// decoded snapshot is bit-identical to the encoded graph (Finalize's CSR
+// layout is canonical for an edge set).
+const (
+	snapshotMagic   = "BDSN"
+	snapshotVersion = 1
+
+	tagMeta    byte = 0x01
+	tagOffsets byte = 0x02
+	tagTargets byte = 0x03
+	tagEnd     byte = 0xFF
+)
+
+// crcTable is the Castagnoli polynomial table shared by snapshots and WAL
+// records (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Codec errors.
+var (
+	// ErrBadSnapshot wraps every snapshot decoding failure (bad magic,
+	// checksum mismatch, malformed section, invalid CSR).
+	ErrBadSnapshot = errors.New("store: bad snapshot")
+	// ErrVersion is returned for snapshots written by an incompatible format
+	// version.  It wraps ErrBadSnapshot.
+	ErrVersion = fmt.Errorf("%w: unsupported version", ErrBadSnapshot)
+)
+
+// SnapshotMeta is the bookkeeping persisted alongside a graph topology.
+type SnapshotMeta struct {
+	// Name is the engine registry name of the graph.
+	Name string
+	// Epoch identifies one registration of the name: re-registering a name
+	// bumps the epoch, and WAL records carry the epoch they were applied
+	// under, so recovery never replays an old registration's deltas onto a
+	// new graph.
+	Epoch uint64
+	// CoveredLSN is the log position this snapshot covers: every WAL record
+	// for this (name, epoch) with LSN ≤ CoveredLSN is already folded into
+	// the snapshot and must be skipped during replay.
+	CoveredLSN uint64
+	// Gen is the engine cache generation of the graph at snapshot time;
+	// restoring it keeps /stats generations continuous across a restart.
+	Gen uint64
+}
+
+// EncodeSnapshot writes g (which must be finalized) and its meta as one
+// snapshot document.
+func EncodeSnapshot(w io.Writer, meta SnapshotMeta, g *graph.Graph) error {
+	if !g.Finalized() {
+		return errors.New("store: EncodeSnapshot: graph is not finalized")
+	}
+	off, tgt := g.CSR()
+	n := g.N()
+
+	header := make([]byte, 0, 8)
+	header = append(header, snapshotMagic...)
+	header = binary.LittleEndian.AppendUint16(header, snapshotVersion)
+	header = binary.LittleEndian.AppendUint16(header, 0) // flags
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+
+	metaPayload := make([]byte, 0, 32+len(meta.Name))
+	metaPayload = binary.AppendUvarint(metaPayload, uint64(len(meta.Name)))
+	metaPayload = append(metaPayload, meta.Name...)
+	metaPayload = binary.AppendUvarint(metaPayload, meta.Epoch)
+	metaPayload = binary.AppendUvarint(metaPayload, meta.CoveredLSN)
+	metaPayload = binary.AppendUvarint(metaPayload, meta.Gen)
+	metaPayload = binary.AppendUvarint(metaPayload, uint64(n))
+	metaPayload = binary.AppendUvarint(metaPayload, uint64(g.M()))
+	if err := writeSection(w, tagMeta, metaPayload); err != nil {
+		return err
+	}
+
+	offPayload := make([]byte, 0, n)
+	for v := 0; v < n; v++ {
+		offPayload = binary.AppendUvarint(offPayload, uint64(off[v+1]-off[v]))
+	}
+	if err := writeSection(w, tagOffsets, offPayload); err != nil {
+		return err
+	}
+
+	tgtPayload := make([]byte, 0, len(tgt))
+	for v := 0; v < n; v++ {
+		row := tgt[off[v]:off[v+1]]
+		for i, t := range row {
+			if i == 0 {
+				tgtPayload = binary.AppendUvarint(tgtPayload, uint64(t))
+			} else {
+				tgtPayload = binary.AppendUvarint(tgtPayload, uint64(t-row[i-1]))
+			}
+		}
+	}
+	if err := writeSection(w, tagTargets, tgtPayload); err != nil {
+		return err
+	}
+	return writeSection(w, tagEnd, nil)
+}
+
+func writeSection(w io.Writer, tag byte, payload []byte) error {
+	head := make([]byte, 0, 1+binary.MaxVarintLen64)
+	head = append(head, tag)
+	head = binary.AppendUvarint(head, uint64(len(payload)))
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, crcTable))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// DecodeSnapshot reads one snapshot document and reconstructs its graph.
+// Every section is checksum-verified before its payload is interpreted, and
+// the rebuilt CSR arrays pass graph.FromCSR's structural validation, so a
+// corrupted snapshot fails loudly instead of producing a broken graph.
+func DecodeSnapshot(r io.Reader) (SnapshotMeta, *graph.Graph, error) {
+	var meta SnapshotMeta
+	br := asByteReader(r)
+
+	var header [8]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		return meta, nil, fmt.Errorf("%w: short header: %v", ErrBadSnapshot, err)
+	}
+	if string(header[:4]) != snapshotMagic {
+		return meta, nil, fmt.Errorf("%w: magic %q", ErrBadSnapshot, header[:4])
+	}
+	if v := binary.LittleEndian.Uint16(header[4:6]); v != snapshotVersion {
+		return meta, nil, fmt.Errorf("%w %d (want %d)", ErrVersion, v, snapshotVersion)
+	}
+	if f := binary.LittleEndian.Uint16(header[6:8]); f != 0 {
+		// Flags are reserved: a nonzero value means a future writer relying
+		// on semantics this decoder does not implement.
+		return meta, nil, fmt.Errorf("%w: unsupported flags 0x%04x", ErrVersion, f)
+	}
+
+	metaPayload, err := readSection(br, tagMeta)
+	if err != nil {
+		return meta, nil, err
+	}
+	cur := payloadCursor{buf: metaPayload}
+	nameLen := cur.uvarint()
+	if nameLen > uint64(len(metaPayload)) {
+		return meta, nil, fmt.Errorf("%w: meta name length %d exceeds section", ErrBadSnapshot, nameLen)
+	}
+	meta.Name = string(cur.bytes(int(nameLen)))
+	meta.Epoch = cur.uvarint()
+	meta.CoveredLSN = cur.uvarint()
+	meta.Gen = cur.uvarint()
+	n := cur.uvarint()
+	m := cur.uvarint()
+	if cur.err != nil {
+		return meta, nil, fmt.Errorf("%w: truncated meta section", ErrBadSnapshot)
+	}
+	if n > math.MaxInt32 || m > math.MaxInt32 {
+		return meta, nil, fmt.Errorf("%w: unreasonable counts n=%d m=%d", ErrBadSnapshot, n, m)
+	}
+
+	offPayload, err := readSection(br, tagOffsets)
+	if err != nil {
+		return meta, nil, err
+	}
+	cur = payloadCursor{buf: offPayload}
+	off := make([]int32, n+1)
+	total := uint64(0)
+	for v := uint64(0); v < n; v++ {
+		off[v] = int32(total)
+		total += cur.uvarint()
+		if total > math.MaxInt32 {
+			return meta, nil, fmt.Errorf("%w: degrees overflow int32 offsets", ErrBadSnapshot)
+		}
+	}
+	off[n] = int32(total)
+	if cur.err != nil || cur.pos != len(offPayload) {
+		return meta, nil, fmt.Errorf("%w: malformed offsets section", ErrBadSnapshot)
+	}
+	if total != 2*m {
+		return meta, nil, fmt.Errorf("%w: degrees sum to %d, want 2m=%d", ErrBadSnapshot, total, 2*m)
+	}
+
+	tgtPayload, err := readSection(br, tagTargets)
+	if err != nil {
+		return meta, nil, err
+	}
+	cur = payloadCursor{buf: tgtPayload}
+	tgt := make([]int32, total)
+	for v := uint64(0); v < n; v++ {
+		prev := uint64(0)
+		for i := off[v]; i < off[v+1]; i++ {
+			d := cur.uvarint()
+			if i > off[v] {
+				d += prev
+			}
+			if d > math.MaxInt32 {
+				return meta, nil, fmt.Errorf("%w: target overflows int32", ErrBadSnapshot)
+			}
+			tgt[i] = int32(d)
+			prev = d
+		}
+	}
+	if cur.err != nil || cur.pos != len(tgtPayload) {
+		return meta, nil, fmt.Errorf("%w: malformed targets section", ErrBadSnapshot)
+	}
+
+	if _, err := readSection(br, tagEnd); err != nil {
+		return meta, nil, err
+	}
+
+	g, err := graph.FromCSR(off, tgt)
+	if err != nil {
+		return meta, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return meta, g, nil
+}
+
+// readSection reads one section, demands the expected tag, and verifies the
+// payload checksum.  The payload is accumulated with a bounded-growth copy so
+// a corrupted length claims no more memory than the input actually holds.
+func readSection(br io.ByteReader, wantTag byte) ([]byte, error) {
+	tag, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing section: %v", ErrBadSnapshot, err)
+	}
+	if tag != wantTag {
+		return nil, fmt.Errorf("%w: section tag 0x%02x, want 0x%02x", ErrBadSnapshot, tag, wantTag)
+	}
+	length, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad section length: %v", ErrBadSnapshot, err)
+	}
+	if length > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: section length %d", ErrBadSnapshot, length)
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, br.(io.Reader), int64(length)); err != nil {
+		return nil, fmt.Errorf("%w: truncated section payload: %v", ErrBadSnapshot, err)
+	}
+	payload := buf.Bytes()
+	var crcBytes [4]byte
+	if _, err := io.ReadFull(br.(io.Reader), crcBytes[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing section checksum: %v", ErrBadSnapshot, err)
+	}
+	want := binary.LittleEndian.Uint32(crcBytes[:])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("%w: section 0x%02x checksum mismatch (got %08x, want %08x)", ErrBadSnapshot, wantTag, got, want)
+	}
+	return payload, nil
+}
+
+// byteReaderReader joins io.ByteReader and io.Reader (what readSection needs).
+type byteReaderReader interface {
+	io.ByteReader
+	io.Reader
+}
+
+// asByteReader adapts r for varint decoding without double-buffering readers
+// that already support it (bytes.Reader, bufio.Reader).
+func asByteReader(r io.Reader) byteReaderReader {
+	if br, ok := r.(byteReaderReader); ok {
+		return br
+	}
+	return &simpleByteReader{r: r}
+}
+
+type simpleByteReader struct {
+	r io.Reader
+}
+
+func (s *simpleByteReader) Read(p []byte) (int, error) { return s.r.Read(p) }
+
+func (s *simpleByteReader) ReadByte() (byte, error) {
+	var b [1]byte
+	_, err := io.ReadFull(s.r, b[:])
+	return b[0], err
+}
+
+// payloadCursor decodes uvarints from an in-memory, checksum-verified
+// payload; the first malformed read latches err and poisons later reads.
+type payloadCursor struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (c *payloadCursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, k := binary.Uvarint(c.buf[c.pos:])
+	if k <= 0 {
+		c.err = errors.New("truncated uvarint")
+		return 0
+	}
+	c.pos += k
+	return v
+}
+
+func (c *payloadCursor) bytes(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || c.pos+n > len(c.buf) {
+		c.err = errors.New("truncated bytes")
+		return nil
+	}
+	b := c.buf[c.pos : c.pos+n]
+	c.pos += n
+	return b
+}

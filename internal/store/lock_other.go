@@ -1,0 +1,27 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// dirLock on non-unix platforms is a best-effort no-op: the LOCK file is
+// created for layout parity but no advisory lock is taken (Windows file
+// locking has different semantics and the daemon targets unix).
+type dirLock struct {
+	f *os.File
+}
+
+func acquireDirLock(path string) (*dirLock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &dirLock{f: f}, nil
+}
+
+func (l *dirLock) release() {
+	if l.f != nil {
+		_ = l.f.Close()
+		l.f = nil
+	}
+}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// dirLock is an advisory flock on the store's LOCK file: it prevents two
+// live processes from appending to the same WAL, yet evaporates with the
+// process on a crash (unlike an O_EXCL sentinel, which would wedge the
+// kill-9-and-restart recovery path this package exists to serve).
+type dirLock struct {
+	f *os.File
+}
+
+func acquireDirLock(path string) (*dirLock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w (%s)", ErrLocked, path)
+	}
+	return &dirLock{f: f}, nil
+}
+
+func (l *dirLock) release() {
+	if l.f != nil {
+		_ = syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+		_ = l.f.Close()
+		l.f = nil
+	}
+}
