@@ -14,8 +14,8 @@
 // and exact solvers / lower bounds for measuring approximation ratios.
 //
 // The package is a facade: the implementation lives in the internal/
-// packages (graph, gen, order, cover, domset, connect, dist, distalgo), and
-// this API wires them together along the paper's pipelines.
+// packages (graph, gen, order, cover, domset, connect, dist, distalgo,
+// solver), and this API wires them together along the paper's pipelines.
 //
 // # Quick start
 //
@@ -23,6 +23,14 @@
 //	res, err := bedom.DominatingSet(g, 2)              // Theorem 5
 //	cds, err := bedom.ConnectedDominatingSet(g, 2)     // Corollary 13
 //	dres, err := bedom.DistributedDominatingSet(g, 2)  // Theorem 9 (CONGEST_BC)
+//
+// The domination pipeline is pluggable: DominatingSetWith selects among the
+// registered solver strategies (see Solvers) — the paper's Algorithm 1
+// ("paper", the default), a Dvořák-style linear sweep ("dvorak"), the
+// Kublenz–Siebertz–Vigny constant-round algorithm ("kubsv") and the
+// classical baselines ("greedy", "order-greedy"):
+//
+//	alt, err := bedom.DominatingSetWith(g, 2, "kubsv")
 //
 // See the examples/ directory for complete programs.
 package bedom
@@ -42,6 +50,7 @@ import (
 	"bedom/internal/gen"
 	"bedom/internal/graph"
 	"bedom/internal/order"
+	"bedom/internal/solver"
 )
 
 // defaultEngine is the process-wide query engine behind the one-shot facade
@@ -130,8 +139,12 @@ type SequentialResult struct {
 	// LowerBound is a certified lower bound on the optimum size.
 	LowerBound int
 	// Wcol2R is the measured weak 2r-colouring number of the order used; the
-	// paper's Theorem 5 guarantees |Set| ≤ Wcol2R · OPT.
+	// paper's Theorem 5 guarantees |Set| ≤ Wcol2R · OPT.  Strategies that use
+	// a different (or no) order report their own bound constant here: dvorak
+	// reports wcol_r, the order-free strategies (greedy, kubsv) report 0.
 	Wcol2R int
+	// Solver names the strategy that produced the set (see Solvers).
+	Solver string
 }
 
 // Ratio returns |Set| / LowerBound (0 if the lower bound is 0).
@@ -147,11 +160,26 @@ func (r SequentialResult) Ratio() float64 {
 // substrates (order, wcol) are cached by the default engine, so repeated
 // calls on the same graph are much faster than the first.
 func DominatingSet(g *Graph, r int) (SequentialResult, error) {
+	return DominatingSetWith(g, r, "")
+}
+
+// Solvers lists the registered dominating-set strategies, sorted by name.
+// Every name is accepted by DominatingSetWith; currently: "dvorak",
+// "greedy", "kubsv", "order-greedy" and "paper" (the default).
+func Solvers() []string { return solver.Names() }
+
+// DominatingSetWith computes a distance-r dominating set with the named
+// solver strategy ("" selects the default, the paper pipeline).  All
+// strategies return a valid distance-r dominating set together with a
+// certified scattered-set lower bound; they differ in approximation
+// guarantee and cost.  Results are cached per (graph, radius, solver) by
+// the default engine.
+func DominatingSetWith(g *Graph, r int, solverName string) (SequentialResult, error) {
 	if r < 1 {
 		return SequentialResult{}, fmt.Errorf("bedom: radius must be ≥ 1, got %d", r)
 	}
 	resp, err := defaultEngine().Do(context.Background(), engine.Request{
-		G: g, Kind: engine.KindDominatingSet, R: r,
+		G: g, Kind: engine.KindDominatingSet, R: r, Solver: solverName,
 	})
 	if err != nil {
 		return SequentialResult{}, err
@@ -161,6 +189,7 @@ func DominatingSet(g *Graph, r int) (SequentialResult, error) {
 		Set:        resp.Set,
 		LowerBound: resp.LowerBound,
 		Wcol2R:     resp.Wcol,
+		Solver:     resp.Solver,
 	}, nil
 }
 
@@ -254,8 +283,15 @@ type DistributedOptions struct {
 	// relayed H-partition on the weak-reachability shortcut graph, closer to
 	// the full Theorem 3 pipeline) instead of the plain H-partition order for
 	// DistributedDominatingSet.  It costs more rounds — O(r·log n) instead of
-	// O(log n) — and typically yields smaller dominating sets.
+	// O(log n) — and typically yields smaller dominating sets.  Only the
+	// "paper" solver honours it.
 	RefinedOrder bool
+	// Solver names the distributed strategy for DistributedDominatingSet
+	// ("" selects the paper pipeline).  Strategies implementing the
+	// distributed interface: "paper" (Theorem 9, CONGEST_BC in
+	// O(log n) rounds) and "kubsv" (Kublenz–Siebertz–Vigny, exactly 7r
+	// LOCAL/CONGEST_BC rounds).
+	Solver string
 }
 
 // DefaultDistributedOptions returns the options used by the paper's
@@ -295,7 +331,7 @@ func DistributedDominatingSet(g *Graph, r int, opts ...DistributedOptions) (Dist
 		G: g, Kind: engine.KindDistributedDominatingSet, R: r,
 		Model: opt.Model, ModelSet: true,
 		SimWorkers: opt.Workers, MaxRounds: opt.MaxRounds,
-		RefinedOrder: opt.RefinedOrder,
+		RefinedOrder: opt.RefinedOrder, Solver: opt.Solver,
 	})
 	if err != nil {
 		return DistributedResult{}, err

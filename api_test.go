@@ -226,3 +226,71 @@ func TestModelNamesExposed(t *testing.T) {
 		t.Fatal("default model should be CONGEST_BC")
 	}
 }
+
+func TestSolverSelectionAPI(t *testing.T) {
+	g := Grid(14, 14)
+	names := Solvers()
+	if len(names) < 5 {
+		t.Fatalf("expected at least 5 registered solvers, got %v", names)
+	}
+	sizes := make(map[string]int)
+	for _, name := range names {
+		res, err := DominatingSetWith(g, 2, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Solver != name {
+			t.Fatalf("result echoes solver %q, want %q", res.Solver, name)
+		}
+		if !IsDominatingSet(g, res.Set, 2) {
+			t.Fatalf("%s: invalid dominating set", name)
+		}
+		if res.LowerBound < 1 || res.LowerBound > len(res.Set) {
+			t.Fatalf("%s: lower bound %d out of range for |D|=%d", name, res.LowerBound, len(res.Set))
+		}
+		sizes[name] = len(res.Set)
+	}
+	// The empty name and DominatingSet both alias the paper strategy.
+	def, err := DominatingSetWith(g, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := DominatingSet(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Solver != "paper" || plain.Solver != "paper" || len(def.Set) != sizes["paper"] || len(plain.Set) != sizes["paper"] {
+		t.Fatalf("default path does not alias the paper solver: %q/%q", def.Solver, plain.Solver)
+	}
+	if _, err := DominatingSetWith(g, 2, "no-such-solver"); err == nil {
+		t.Fatal("unknown solver must be rejected")
+	} else if !strings.Contains(err.Error(), "paper") {
+		t.Fatalf("unknown-solver error must list the registry: %v", err)
+	}
+}
+
+func TestDistributedSolverSelectionAPI(t *testing.T) {
+	g := Grid(9, 9)
+	res, err := DistributedDominatingSet(g, 2, DistributedOptions{Model: CONGESTBC, Solver: "kubsv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsDominatingSet(g, res.Set, 2) {
+		t.Fatal("kubsv distributed result invalid")
+	}
+	if res.Rounds != 14 {
+		t.Fatalf("kubsv must run exactly 7r rounds, got %d", res.Rounds)
+	}
+	// The sequential and distributed kubsv computations agree, and the
+	// facade's sequential entry point serves the same set.
+	seq, err := DominatingSetWith(g, 2, "kubsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Set) != len(res.Set) {
+		t.Fatalf("kubsv sequential/distributed mismatch: %d vs %d", len(seq.Set), len(res.Set))
+	}
+	if _, err := DistributedDominatingSet(g, 2, DistributedOptions{Model: CONGESTBC, Solver: "greedy"}); err == nil {
+		t.Fatal("non-distributed solver must be rejected on the distributed path")
+	}
+}

@@ -1,4 +1,4 @@
-// Command benchrun executes the experiment suite E1–E8 (see DESIGN.md §4)
+// Command benchrun executes the experiment suite E1–E10 (see DESIGN.md §4)
 // and prints the tables recorded in EXPERIMENTS.md.
 //
 // Usage:

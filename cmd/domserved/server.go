@@ -38,10 +38,11 @@ type server struct {
 //	DELETE /graphs/{name}        unregister a graph
 //	POST   /graphs/{name}/edges  mutate a graph (JSON delta: add/remove
 //	                             edges, add vertices)
-//	POST   /query                run one domination query
+//	POST   /query                run one domination query (the 'solver'
+//	                             field selects the strategy)
 //	POST   /batch                run many queries across the worker pool
 //	GET    /stats                engine counters (cache, executor, latency,
-//	                             per-graph generations)
+//	                             per-graph generations, per-solver queries)
 //	GET    /healthz              liveness probe
 func newServer(eng *engine.Engine) http.Handler {
 	s := &server{eng: eng, start: time.Now()}
@@ -371,6 +372,10 @@ type queryRequest struct {
 	Workers      int  `json:"workers,omitempty"`
 	MaxRounds    int  `json:"max_rounds,omitempty"`
 	RefinedOrder bool `json:"refined_order,omitempty"`
+	// Solver names the strategy for domset / greedy / dist-domset kinds
+	// ("paper", "kubsv", "dvorak", "greedy", "order-greedy"; default
+	// "paper").  Unknown names fail with 400 listing the registry.
+	Solver string `json:"solver,omitempty"`
 	// OmitSets drops the (possibly large) vertex sets from the response,
 	// keeping sizes and statistics only.
 	OmitSets bool `json:"omit_sets,omitempty"`
@@ -393,6 +398,7 @@ func (q queryRequest) toEngine() (engine.Request, error) {
 		SimWorkers:      q.Workers,
 		MaxRounds:       q.MaxRounds,
 		RefinedOrder:    q.RefinedOrder,
+		Solver:          q.Solver,
 		IncludeClusters: q.IncludeClusters,
 	}
 	if q.Model != "" {

@@ -501,8 +501,8 @@ func TestConcurrentQueriesSingleBuild(t *testing.T) {
 	}
 	var st engine.Stats
 	doJSON(t, "GET", ts.URL+"/stats", nil, &st)
-	if st.SubstrateBuilds != 2 { // order(2) + wreach(2,4), built once each
-		t.Fatalf("%d substrate builds for identical concurrent queries, want 2 (stats %+v)", st.SubstrateBuilds, st)
+	if st.SubstrateBuilds != 3 { // order(2) + wreach(2,4) + paper result, built once each
+		t.Fatalf("%d substrate builds for identical concurrent queries, want 3 (stats %+v)", st.SubstrateBuilds, st)
 	}
 }
 
@@ -684,5 +684,77 @@ func TestPersistenceRestartRoundTrip(t *testing.T) {
 	}
 	if stAfter.Persist.Recovered.Graphs != 1 || stAfter.Persist.ReplayedRecords != 1 {
 		t.Fatalf("recovery stats %+v", stAfter.Persist)
+	}
+}
+
+func TestQuerySolverSelection(t *testing.T) {
+	ts := testServer(t)
+	registerGrid(t, ts, "grid", 144)
+	g := gen.Families()[0].Generate(144, 1)
+
+	sizes := make(map[string]int)
+	for _, name := range []string{"paper", "kubsv", "dvorak", "greedy", "order-greedy"} {
+		var q queryResponse
+		resp := doJSON(t, "POST", ts.URL+"/query",
+			map[string]any{"graph": "grid", "kind": "domset", "r": 2, "solver": name}, &q)
+		if resp.StatusCode != http.StatusOK || q.Error != "" {
+			t.Fatalf("%s: status %d error %q", name, resp.StatusCode, q.Error)
+		}
+		if q.Solver != name {
+			t.Fatalf("%s: response echoes solver %q", name, q.Solver)
+		}
+		if !domset.Check(g, q.Set, 2) {
+			t.Fatalf("%s: served set does not dominate the grid", name)
+		}
+		sizes[name] = q.Size
+	}
+	if sizes["greedy"] == sizes["paper"] && sizes["kubsv"] == sizes["paper"] {
+		t.Fatalf("solver field appears to be ignored: all sizes %v", sizes)
+	}
+	// Default spelling resolves to paper and shares its cache entry.
+	var def queryResponse
+	doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "domset", "r": 2}, &def)
+	if def.Solver != "paper" || !def.CacheHit || def.Size != sizes["paper"] {
+		t.Fatalf("default query %+v does not alias the paper entry", def)
+	}
+	// Distributed kinds accept distributed strategies only.
+	var dq queryResponse
+	resp := doJSON(t, "POST", ts.URL+"/query",
+		map[string]any{"graph": "grid", "kind": "dist-domset", "r": 1, "solver": "kubsv"}, &dq)
+	if resp.StatusCode != http.StatusOK || dq.Rounds != 7 {
+		t.Fatalf("kubsv dist-domset: status %d rounds %d", resp.StatusCode, dq.Rounds)
+	}
+
+	// Per-solver counters surface in /stats.
+	var st engine.Stats
+	doJSON(t, "GET", ts.URL+"/stats", nil, &st)
+	counts := make(map[string]uint64)
+	for _, sc := range st.PerSolver {
+		counts[sc.Solver] = sc.Count
+	}
+	if counts["paper"] != 2 || counts["kubsv"] != 2 || counts["dvorak"] != 1 || counts["greedy"] != 1 || counts["order-greedy"] != 1 {
+		t.Fatalf("per-solver counters %v", counts)
+	}
+}
+
+func TestQueryUnknownSolver(t *testing.T) {
+	ts := testServer(t)
+	registerGrid(t, ts, "grid", 64)
+	var e map[string]string
+	resp := doJSON(t, "POST", ts.URL+"/query",
+		map[string]any{"graph": "grid", "kind": "domset", "r": 1, "solver": "simulated-annealing"}, &e)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown solver: status %d, want 400", resp.StatusCode)
+	}
+	for _, name := range []string{"paper", "kubsv", "dvorak", "greedy", "order-greedy"} {
+		if !strings.Contains(e["error"], name) {
+			t.Fatalf("400 body must list registered solver %q: %q", name, e["error"])
+		}
+	}
+	// A non-distributed solver on a distributed kind is a 400, too.
+	resp = doJSON(t, "POST", ts.URL+"/query",
+		map[string]any{"graph": "grid", "kind": "dist-domset", "r": 1, "solver": "dvorak"}, &e)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dvorak on dist-domset: status %d, want 400", resp.StatusCode)
 	}
 }

@@ -15,6 +15,7 @@ const (
 	kindOrder  substrateKind = iota // a *order.Order for radius A
 	kindWReach                      // WReach_B sets on the order for radius A
 	kindCover                       // a *coverSubstrate for radius A
+	kindDomset                      // a solver.Result for radius A, solver S
 )
 
 func (k substrateKind) String() string {
@@ -25,6 +26,8 @@ func (k substrateKind) String() string {
 		return "wreach"
 	case kindCover:
 		return "cover"
+	case kindDomset:
+		return "domset"
 	default:
 		return "substrate(?)"
 	}
@@ -32,11 +35,15 @@ func (k substrateKind) String() string {
 
 // substrateKey identifies one cached substrate: a graph generation (graphs
 // get a fresh generation on every (re-)registration and on mutation), the
-// substrate kind, and up to two integer parameters (see the kind constants).
+// substrate kind, up to two integer parameters (see the kind constants), and
+// for domination results the solver strategy name — per-solver results cache
+// and invalidate independently, so mixed-solver workloads on one graph never
+// cross-contaminate.
 type substrateKey struct {
-	gen  uint64
-	kind substrateKind
-	a, b int
+	gen    uint64
+	kind   substrateKind
+	a, b   int
+	solver string
 }
 
 // substrateCache is an LRU-bounded cache with single-flight deduplication:

@@ -96,11 +96,11 @@ func TestSingleFlight(t *testing.T) {
 	}
 	wg.Wait()
 	st := e.Stats()
-	// The domset pipeline needs exactly two substrates: the order for r=2 and
-	// wcol_4 on it.  No matter how the 32 queries interleave, each substrate
-	// is built exactly once.
-	if st.SubstrateBuilds != 2 {
-		t.Fatalf("substrates built %d times, want 2 (stats %+v)", st.SubstrateBuilds, st)
+	// The domset pipeline needs exactly three substrates: the order for r=2,
+	// wcol_4 on it, and the cached solver result.  No matter how the 32
+	// queries interleave, each is built exactly once.
+	if st.SubstrateBuilds != 3 {
+		t.Fatalf("substrates built %d times, want 3 (stats %+v)", st.SubstrateBuilds, st)
 	}
 	if st.CacheHits+st.Coalesced == 0 {
 		t.Fatal("expected cache hits or coalesced waits")
@@ -413,8 +413,8 @@ func TestOrderForSharesFacadeSubstrate(t *testing.T) {
 	if _, err := e.Do(context.Background(), Request{G: g, Kind: KindDominatingSet, R: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if got := e.Stats().SubstrateBuilds; got != before+1 { // only wcol is new
-		t.Fatalf("domset after OrderFor built %d substrates, want 1", got-before)
+	if got := e.Stats().SubstrateBuilds; got != before+2 { // wcol + result; the order is reused
+		t.Fatalf("domset after OrderFor built %d substrates, want 2", got-before)
 	}
 }
 

@@ -186,8 +186,8 @@ func TestMutateInvalidatesOnlyMutatedGraph(t *testing.T) {
 	if resp.CacheHit {
 		t.Fatal("query on a mutated graph must not be served stale substrates")
 	}
-	if got := e.Stats().SubstrateBuilds; got != buildsBefore+2 { // order + wreach
-		t.Fatalf("rebuild after mutation built %d substrates, want 2", got-buildsBefore)
+	if got := e.Stats().SubstrateBuilds; got != buildsBefore+3 { // order + wreach + result
+		t.Fatalf("rebuild after mutation built %d substrates, want 3", got-buildsBefore)
 	}
 	if !domset.Check(e.mustLookup(t, "b"), resp.Set, 1) {
 		t.Fatal("post-mutation result does not dominate the new topology")

@@ -8,6 +8,7 @@ import (
 
 	"bedom/internal/gen"
 	"bedom/internal/graph"
+	"bedom/internal/solver"
 )
 
 // openPersistent opens a persistent engine on dir, closing it with the test.
@@ -311,5 +312,64 @@ func TestGenerationContinuityInterleaved(t *testing.T) {
 	}
 	if mut.Graph.Gen <= preB.Gen {
 		t.Fatalf("post-recovery gen %d not beyond persisted max %d", mut.Graph.Gen, preB.Gen)
+	}
+}
+
+// TestCrashRecoveryPerSolver asserts that crash recovery preserves
+// per-solver answers: after WAL replay, every registered strategy returns
+// exactly the set an engine that never died returns, and the per-solver
+// cache entries rebuilt on the recovered generation stay independent.
+func TestCrashRecoveryPerSolver(t *testing.T) {
+	dir := t.TempDir()
+	undying := testEngine(t, Config{})
+	if _, err := undying.Register("g", gen.Grid(24, 24)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := undying.Mutate("g", mutateTestDelta()); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := openPersistent(t, dir, Config{})
+	if _, err := victim.Register("g", gen.Grid(24, 24)); err != nil {
+		t.Fatal(err)
+	}
+	// Warm every strategy's result cache pre-crash: none of these entries
+	// may survive into the recovered generation.
+	for _, name := range solver.Names() {
+		if _, err := victim.Do(context.Background(), Request{Graph: "g", Kind: KindDominatingSet, R: 2, Solver: name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := victim.Mutate("g", mutateTestDelta()); err != nil {
+		t.Fatal(err)
+	}
+	crash(victim)
+
+	revived := openPersistent(t, dir, Config{})
+	for _, name := range solver.Names() {
+		a, err := revived.Do(context.Background(), Request{Graph: "g", Kind: KindDominatingSet, R: 2, Solver: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := undying.Do(context.Background(), Request{Graph: "g", Kind: KindDominatingSet, R: 2, Solver: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(a.Set, b.Set) || a.LowerBound != b.LowerBound || a.Wcol != b.Wcol {
+			t.Fatalf("%s: recovered engine diverges from undying engine", name)
+		}
+		if a.Solver != name {
+			t.Fatalf("recovered response solver %q, want %q", a.Solver, name)
+		}
+	}
+	// Warm re-queries on the recovered engine serve per-solver hits.
+	for _, name := range solver.Names() {
+		resp, err := revived.Do(context.Background(), Request{Graph: "g", Kind: KindDominatingSet, R: 2, Solver: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.CacheHit {
+			t.Fatalf("%s: warm post-recovery query missed the cache", name)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"bedom/internal/distalgo"
 	"bedom/internal/domset"
 	"bedom/internal/graph"
+	"bedom/internal/solver"
 )
 
 // Kind selects the query pipeline.
@@ -55,6 +57,11 @@ type Request struct {
 	Kind Kind `json:"kind"`
 	// R is the domination / covering radius (≥ 1).
 	R int `json:"r"`
+	// Solver selects the domination strategy ("" = the default paper
+	// pipeline; see internal/solver for the registry).  Honoured by the
+	// domset, greedy and dist-domset kinds; the remaining kinds are pinned to
+	// the paper pipeline and reject other names.
+	Solver string `json:"solver,omitempty"`
 	// Timeout bounds this query (0 = the engine's DefaultTimeout).
 	Timeout time.Duration `json:"-"`
 
@@ -76,15 +83,28 @@ type Request struct {
 	IncludeClusters bool `json:"-"`
 }
 
-func (r Request) model() Model {
-	if r.ModelSet {
-		return r.Model
-	}
-	return CongestBC
-}
-
 func (r Request) simOptions() dist.Options {
 	return dist.Options{Workers: r.SimWorkers, MaxRounds: r.MaxRounds}
+}
+
+// solverStrategy resolves the request's solver strategy for the kinds that
+// dispatch through the registry (domset, greedy, dist-domset).  KindGreedy
+// with no explicit name is an alias for the greedy strategy.
+func (r Request) solverStrategy() (solver.Solver, error) {
+	name := r.Solver
+	if r.Kind == KindGreedy && name == "" {
+		name = "greedy"
+	}
+	return solver.Get(name)
+}
+
+func (r Request) distOptions() solver.DistOptions {
+	return solver.DistOptions{
+		Model:        r.Model,
+		ModelSet:     r.ModelSet,
+		Sim:          r.simOptions(),
+		RefinedOrder: r.RefinedOrder,
+	}
 }
 
 // Response is the outcome of a query.
@@ -94,6 +114,9 @@ type Response struct {
 	// Kind and R echo the request.
 	Kind Kind `json:"kind"`
 	R    int  `json:"r"`
+	// Solver is the strategy that served a solver-dispatched kind (empty for
+	// kinds pinned to the paper pipeline).
+	Solver string `json:"solver,omitempty"`
 
 	// Set is the computed (connected) dominating set (nil for cover queries).
 	Set []int `json:"set,omitempty"`
@@ -165,6 +188,13 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	})
 	e.stats.queries.Add(1)
 	e.stats.countKind(req.Kind)
+	switch req.Kind {
+	case KindDominatingSet, KindGreedy, KindDistributedDominatingSet:
+		// Validation resolved the strategy, so this cannot fail here.
+		if s, serr := req.solverStrategy(); serr == nil {
+			e.stats.countSolver(s.Name())
+		}
+	}
 	if err == nil {
 		err = qerr
 	}
@@ -188,10 +218,32 @@ func (e *Engine) validate(req Request) error {
 	switch req.Kind {
 	case KindDominatingSet, KindConnectedDominatingSet, KindCover, KindGreedy,
 		KindDistributedDominatingSet, KindDistributedConnected:
-		return nil
 	default:
 		return fmt.Errorf("%w: unknown kind %q", ErrInvalidRequest, req.Kind)
 	}
+	switch req.Kind {
+	case KindDominatingSet, KindGreedy, KindDistributedDominatingSet:
+		s, err := req.solverStrategy()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+		}
+		if req.Kind == KindGreedy && s.Name() != "greedy" {
+			return fmt.Errorf("%w: kind %q implies solver \"greedy\", got %q", ErrInvalidRequest, req.Kind, req.Solver)
+		}
+		if req.Kind == KindDistributedDominatingSet {
+			if _, ok := s.(solver.DistSolver); !ok {
+				return fmt.Errorf("%w: solver %q has no distributed engine (distributed solvers: %s)",
+					ErrInvalidRequest, s.Name(), strings.Join(solver.DistNames(), ", "))
+			}
+		}
+	default:
+		// The connected and cover pipelines are paper-specific.
+		if req.Solver != "" && req.Solver != solver.DefaultName {
+			return fmt.Errorf("%w: kind %q supports only the default %q pipeline, got solver %q",
+				ErrInvalidRequest, req.Kind, solver.DefaultName, req.Solver)
+		}
+	}
+	return nil
 }
 
 // run executes the query pipeline on the calling (worker) goroutine.  The
@@ -201,24 +253,23 @@ func (e *Engine) validate(req Request) error {
 func (e *Engine) run(ctx context.Context, req Request, g *graph.Graph, gen uint64) (*Response, error) {
 	resp := &Response{Graph: req.Graph, Kind: req.Kind, R: req.R}
 	switch req.Kind {
-	case KindDominatingSet:
-		o, hitO, err := e.orderFor(ctx, g, gen, req.R)
+	case KindDominatingSet, KindGreedy:
+		s, err := req.solverStrategy()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+		}
+		res, hit, err := e.domsetFor(ctx, g, gen, req.R, s)
 		if err != nil {
 			return nil, err
 		}
-		wcol, hitW, err := e.wcolFor(ctx, g, gen, req.R, 2*req.R)
-		if err != nil {
-			return nil, err
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		D := domset.AlgorithmOne(g, o, req.R)
-		resp.Set = D
-		resp.Size = len(D)
-		resp.LowerBound = domset.ScatteredLowerBound(g, req.R, D)
-		resp.Wcol = wcol
-		resp.CacheHit = hitO && hitW
+		resp.Solver = s.Name()
+		// The cached result is shared across queries; hand out a copy so a
+		// caller mutating its response cannot poison the cache.
+		resp.Set = append([]int(nil), res.Set...)
+		resp.Size = len(res.Set)
+		resp.LowerBound = res.LowerBound
+		resp.Wcol = res.Wcol
+		resp.CacheHit = hit
 
 	case KindConnectedDominatingSet:
 		if !g.IsConnected() {
@@ -257,31 +308,33 @@ func (e *Engine) run(ctx context.Context, req Request, g *graph.Graph, gen uint6
 			resp.Clusters = cs.cover.ClusterMap()
 		}
 
-	case KindGreedy:
-		D := domset.Greedy(g, req.R)
-		resp.Set = D
-		resp.Size = len(D)
-		resp.LowerBound = domset.ScatteredLowerBound(g, req.R, D)
-		resp.CacheHit = true // no substrate needed
-
 	case KindDistributedDominatingSet:
-		run := distalgo.RunDomSet
-		if req.RefinedOrder {
-			run = distalgo.RunDomSetRefined
+		s, err := req.solverStrategy()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
 		}
-		res, err := run(g, req.R, req.model(), req.simOptions())
+		ds, ok := s.(solver.DistSolver)
+		if !ok {
+			return nil, fmt.Errorf("%w: solver %q has no distributed engine", ErrInvalidRequest, s.Name())
+		}
+		res, err := ds.SolveDist(g, req.R, req.distOptions())
 		if err != nil {
 			return nil, err
 		}
+		resp.Solver = s.Name()
 		resp.Set = res.Set
 		resp.DomSet = res.Set
 		resp.Size = len(res.Set)
-		resp.Rounds = res.Stats.Rounds
-		resp.Messages = res.Stats.Messages
-		resp.MaxMessageWords = res.Stats.MaxMessageWords
+		resp.Rounds = res.Rounds
+		resp.Messages = res.Messages
+		resp.MaxMessageWords = res.MaxMessageWords
 
 	case KindDistributedConnected:
-		res, err := distalgo.RunConnectedDomSet(g, req.R, req.model(), req.simOptions())
+		model := CongestBC
+		if req.ModelSet {
+			model = req.Model
+		}
+		res, err := distalgo.RunConnectedDomSet(g, req.R, model, req.simOptions())
 		if err != nil {
 			return nil, err
 		}

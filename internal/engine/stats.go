@@ -28,8 +28,9 @@ type statsCollector struct {
 	// appends, checkpoint steps) on engines with a data directory.
 	persistErrors atomic.Uint64
 
-	mu      sync.Mutex
-	perKind map[Kind]uint64
+	mu        sync.Mutex
+	perKind   map[Kind]uint64
+	perSolver map[string]uint64
 }
 
 func (s *statsCollector) countKind(k Kind) {
@@ -41,10 +42,27 @@ func (s *statsCollector) countKind(k Kind) {
 	s.mu.Unlock()
 }
 
+func (s *statsCollector) countSolver(name string) {
+	s.mu.Lock()
+	if s.perSolver == nil {
+		s.perSolver = make(map[string]uint64)
+	}
+	s.perSolver[name]++
+	s.mu.Unlock()
+}
+
 // KindCount is the number of queries served for one kind.
 type KindCount struct {
 	Kind  Kind   `json:"kind"`
 	Count uint64 `json:"count"`
+}
+
+// SolverCount is the number of solver-dispatched queries served for one
+// strategy (domset / greedy / dist-domset kinds; other kinds are pinned to
+// the paper pipeline and not counted here).
+type SolverCount struct {
+	Solver string `json:"solver"`
+	Count  uint64 `json:"count"`
 }
 
 // GraphStat is the per-graph slice of Stats: the current topology, cache
@@ -92,6 +110,8 @@ type Stats struct {
 	// (excluding queueing).
 	QueryMSTotal float64     `json:"query_ms_total"`
 	PerKind      []KindCount `json:"per_kind,omitempty"`
+	// PerSolver counts queries per solver strategy (see SolverCount).
+	PerSolver []SolverCount `json:"per_solver,omitempty"`
 
 	// Dynamic graphs.
 
@@ -191,7 +211,11 @@ func (e *Engine) Stats() Stats {
 	for k, c := range e.stats.perKind {
 		st.PerKind = append(st.PerKind, KindCount{Kind: k, Count: c})
 	}
+	for name, c := range e.stats.perSolver {
+		st.PerSolver = append(st.PerSolver, SolverCount{Solver: name, Count: c})
+	}
 	e.stats.mu.Unlock()
 	sort.Slice(st.PerKind, func(i, j int) bool { return st.PerKind[i].Kind < st.PerKind[j].Kind })
+	sort.Slice(st.PerSolver, func(i, j int) bool { return st.PerSolver[i].Solver < st.PerSolver[j].Solver })
 	return st
 }

@@ -1,8 +1,9 @@
 // Package exp is the experiment harness: it generates the workloads, runs
-// the algorithms and produces the tables recorded in EXPERIMENTS.md.  Each
-// experiment E1–E8 validates one of the paper's quantitative claims (the
-// paper itself has no empirical section, so the experiments are keyed to
-// theorems; see DESIGN.md §4 for the mapping).
+// the algorithms and produces the tables recorded in EXPERIMENTS.md.
+// Experiments E1–E8 validate the paper's quantitative claims (the paper
+// itself has no empirical section, so the experiments are keyed to
+// theorems; see DESIGN.md §4 for the mapping); E9 covers the persistence
+// layer and E10 compares the pluggable solver strategies head to head.
 package exp
 
 import (
@@ -159,6 +160,7 @@ func All() []Experiment {
 		{"E7", "Planar constant-round connected MDS (Theorem 17 + Lenzen et al.)", E7PlanarLocalCDS},
 		{"E8", "Ablation: augmentation depth of the order construction", E8AugmentationAblation},
 		{"E9", "Persistence codec compactness and WAL replay fidelity (internal/store)", E9PersistenceCodec},
+		{"E10", "Solver strategies head to head (internal/solver registry)", E10SolverHeadToHead},
 	}
 }
 

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"bedom/internal/domset"
+	"bedom/internal/solver"
+)
+
+// E10SolverHeadToHead compares the registered solver strategies head to head
+// on the same instances: set size and certified quality for every strategy,
+// plus simulator cost (rounds, messages, message width) for the strategies
+// that implement the distributed interface.  Wall-clock timings are
+// reported in the notes — the table cells stay deterministic so the perf
+// gate can diff them across commits.
+func E10SolverHeadToHead(cfg Config) *Table {
+	t := &Table{
+		ID:    "E10",
+		Title: "Solver strategies head to head (paper vs kubsv vs dvorak vs greedy baselines)",
+		Header: []string{"family", "r", "n", "solver", "|D|", "LB", "ratio", "valid",
+			"model", "rounds", "messages", "max msg words"},
+	}
+	ctx := context.Background()
+	var timings []string
+	for _, f := range qualityFamilies(cfg) {
+		for _, r := range cfg.Radii {
+			g := instance(f, cfg.N/2, cfg.Seed+9)
+			// One memoized substrate per instance: the strategies share the
+			// order exactly like they do behind the engine's cache, so the
+			// comparison isolates the algorithms, not substrate rebuilds.
+			sub := solver.NewLocal(g, 0)
+			// One lower bound per (instance, r), seeded from the paper
+			// strategy's set, so the ratio column is comparable across rows.
+			paper, err := solver.Get(solver.DefaultName)
+			if err != nil {
+				continue
+			}
+			pres, err := paper.Solve(ctx, g, r, sub)
+			if err != nil {
+				continue
+			}
+			lb, _ := domset.BestLowerBound(g, r, pres.Set, cfg.SmallN, 0)
+			for _, name := range solver.Names() {
+				s, err := solver.Get(name)
+				if err != nil {
+					continue
+				}
+				start := time.Now()
+				res, err := s.Solve(ctx, g, r, sub)
+				if err != nil {
+					continue
+				}
+				elapsed := time.Since(start)
+				valid := domset.Check(g, res.Set, r)
+				model, rounds, messages, maxWords := "-", "-", "-", "-"
+				if ds, ok := s.(solver.DistSolver); ok {
+					dres, derr := ds.SolveDist(g, r, solver.DistOptions{})
+					if derr == nil {
+						model = distModelName(name)
+						rounds = fmt.Sprintf("%d", dres.Rounds)
+						messages = fmt.Sprintf("%d", dres.Messages)
+						maxWords = fmt.Sprintf("%d", dres.MaxMessageWords)
+					}
+				}
+				t.AddRow(f.Name, r, g.N(), name, len(res.Set), lb, ratio(len(res.Set), lb), valid,
+					model, rounds, messages, maxWords)
+				timings = append(timings,
+					fmt.Sprintf("%s r=%d %s %.1fms", f.Name, r, name, float64(elapsed)/float64(time.Millisecond)))
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"LB is one scattered-set lower bound per (family, r) instance, seeded from the paper strategy's set, so ratios are comparable across strategies.",
+		"rounds/messages come from the simulator runs of the distributed strategies (paper: CONGEST_BC pipeline, kubsv: exactly 7r broadcast-only LOCAL rounds).",
+		"sequential wall-clock (excluded from the perf-gate diff): "+joinLimited(timings, 18))
+	return t
+}
+
+// distModelName names the default simulator model of a distributed strategy.
+func distModelName(name string) string {
+	if name == "kubsv" {
+		return "LOCAL"
+	}
+	return "CONGEST_BC"
+}
+
+// joinLimited joins up to max entries with "; ", eliding the rest.
+func joinLimited(entries []string, max int) string {
+	if len(entries) == 0 {
+		return "none"
+	}
+	out := ""
+	for i, e := range entries {
+		if i == max {
+			out += fmt.Sprintf("; … (%d more)", len(entries)-max)
+			break
+		}
+		if i > 0 {
+			out += "; "
+		}
+		out += e
+	}
+	return out
+}
