@@ -50,12 +50,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"bedom/internal/engine"
+	"bedom/internal/obs"
 )
 
 func main() {
@@ -68,6 +70,8 @@ func main() {
 		subWkrs  = flag.Int("substrate-workers", 0, "goroutines per substrate build (0 = GOMAXPROCS; outputs are identical for any value)")
 		dataDir  = flag.String("data-dir", "", "data directory for durable persistence (empty = in-memory only)")
 		ckptIntv = flag.Duration("checkpoint-interval", time.Minute, "background WAL-compaction cadence for -data-dir (0 = only explicit /admin/checkpoint)")
+		pprofAdr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it off the public listener)")
+		slowQry  = flag.Duration("slow-query", 0, "log a full span trace for requests at least this slow (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -78,6 +82,10 @@ func main() {
 		DefaultTimeout:     *timeout,
 		SubstrateWorkers:   *subWkrs,
 		CheckpointInterval: *ckptIntv,
+		// One process-wide registry: the engine, the dist simulator (which
+		// always records into obs.Default) and the HTTP middleware all land
+		// in the same GET /metrics scrape.
+		Metrics: obs.Default(),
 	}
 	var (
 		eng *engine.Engine
@@ -96,9 +104,26 @@ func main() {
 		eng = engine.New(cfg)
 	}
 
+	if *pprofAdr != "" {
+		// pprof gets its own listener (and mux) so profiling endpoints are
+		// never exposed on the serving address.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("domserved: pprof listening on %s", *pprofAdr)
+			if err := http.ListenAndServe(*pprofAdr, pmux); err != nil {
+				log.Printf("domserved: pprof server: %v", err)
+			}
+		}()
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng),
+		Handler:           newServer(eng, serverOptions{Metrics: obs.Default(), SlowQuery: *slowQry}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"bedom/internal/engine"
 	"bedom/internal/gen"
 	"bedom/internal/graph"
+	"bedom/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies (edge lists can be large but finite).
@@ -24,10 +27,27 @@ const maxBodyBytes = 256 << 20
 // O(n) immediately, so the body-size limit alone does not bound memory.
 const maxGraphVertices = 32 << 20
 
+// serverOptions tunes the HTTP surface beyond the engine itself.
+type serverOptions struct {
+	// Metrics is the registry GET /metrics exposes (nil = obs.Default()).
+	// main wires the engine, the dist simulator and the HTTP middleware to
+	// the same registry so one scrape covers the whole process.
+	Metrics *obs.Registry
+	// SlowQuery logs a warning with the request's full span trace when a
+	// request takes at least this long (0 = disabled).
+	SlowQuery time.Duration
+}
+
 // server wires an engine to the HTTP surface.
 type server struct {
-	eng   *engine.Engine
-	start time.Time
+	eng       *engine.Engine
+	start     time.Time
+	mux       *http.ServeMux
+	reg       *obs.Registry
+	slowQuery time.Duration
+
+	httpRequests *obs.CounterVec   // bedom_http_requests_total{route,code}
+	httpSeconds  *obs.HistogramVec // bedom_http_request_seconds{route}
 }
 
 // newServer returns the domserved handler tree:
@@ -43,9 +63,28 @@ type server struct {
 //	POST   /batch                run many queries across the worker pool
 //	GET    /stats                engine counters (cache, executor, latency,
 //	                             per-graph generations, per-solver queries)
+//	GET    /metrics              Prometheus text exposition of the registry
 //	GET    /healthz              liveness probe
-func newServer(eng *engine.Engine) http.Handler {
-	s := &server{eng: eng, start: time.Now()}
+//
+// Every request passes through the observability middleware: it mints a
+// query ID (echoed as X-Query-ID and propagated via the request context, so
+// engine stage spans attach to it), counts the request per route and status,
+// and records per-route latency.
+func newServer(eng *engine.Engine, opts serverOptions) http.Handler {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	s := &server{
+		eng:       eng,
+		start:     time.Now(),
+		reg:       reg,
+		slowQuery: opts.SlowQuery,
+		httpRequests: reg.CounterVec("bedom_http_requests_total",
+			"HTTP requests served, by route pattern and status code.", "route", "code"),
+		httpSeconds: reg.HistogramVec("bedom_http_request_seconds",
+			"HTTP request latency, by route pattern.", nil, "route"),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /graphs", s.handleRegister)
 	mux.HandleFunc("GET /graphs", s.handleListGraphs)
@@ -55,8 +94,53 @@ func newServer(eng *engine.Engine) http.Handler {
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	s.mux = mux
+	return s.instrument(mux)
+}
+
+// statusWriter captures the response status for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument is the observability middleware: query-ID assignment, per-route
+// request/latency metrics, and slow-request trace logging.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		qid := obs.NewQueryID()
+		tr := obs.NewTrace(qid)
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		w.Header().Set("X-Query-ID", qid)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		// Label by the mux's route pattern, not the raw URL: /graphs/{name}
+		// is one series however many graphs exist (metric cardinality must
+		// not be client-controlled).
+		_, route := s.mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		s.httpSeconds.With(route).ObserveDuration(elapsed)
+		s.httpRequests.With(route, strconv.Itoa(sw.status)).Inc()
+		if s.slowQuery > 0 && elapsed >= s.slowQuery {
+			slog.Warn("slow request",
+				"query_id", qid,
+				"route", route,
+				"status", sw.status,
+				"elapsed_ms", float64(elapsed)/float64(time.Millisecond),
+				"trace", tr.String())
+		}
+	})
 }
 
 // registerRequest is the JSON body of POST /graphs.  Exactly one graph
@@ -527,11 +611,30 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// Telemetry responses carry Cache-Control: no-store so fronting proxies
+// never serve stale counters to a dashboard or probe.
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, s.eng.Stats())
 }
 
+// handleMetrics serves the registry in the Prometheus text exposition
+// format: engine query/cache/persist counters and latency histograms, the
+// simulator's per-model round/message/bandwidth accounting, and the HTTP
+// layer's own request metrics.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Content-Type", obs.TextContentType)
+	if err := s.reg.WritePrometheus(w); err != nil {
+		// The headers are out; a mid-scrape write error only truncates the
+		// response, which Prometheus treats as a failed scrape.
+		_ = err
+	}
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"graphs":    s.eng.GraphCount(),

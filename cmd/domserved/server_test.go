@@ -14,13 +14,17 @@ import (
 	"bedom/internal/engine"
 	"bedom/internal/gen"
 	"bedom/internal/graph"
+	"bedom/internal/obs"
 )
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	eng := engine.New(engine.Config{Workers: 4})
+	// Engine and server share one private registry (never obs.Default, so
+	// parallel tests cannot pollute each other's scrapes).
+	reg := obs.NewRegistry()
+	eng := engine.New(engine.Config{Workers: 4, Metrics: reg})
 	t.Cleanup(eng.Close)
-	ts := httptest.NewServer(newServer(eng))
+	ts := httptest.NewServer(newServer(eng, serverOptions{Metrics: reg}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -598,7 +602,7 @@ func (r *errAfterReader) Read(p []byte) (int, error) {
 func TestNDJSONTruncatedBody(t *testing.T) {
 	eng := engine.New(engine.Config{Workers: 2})
 	t.Cleanup(eng.Close)
-	h := newServer(eng)
+	h := newServer(eng, serverOptions{Metrics: obs.NewRegistry()})
 
 	body := &errAfterReader{data: []byte("{\"name\":\"trunc\",\"n\":8}\n[0,1]\n[1,2]\n[2,")}
 	req := httptest.NewRequest("POST", "/graphs", body)
@@ -623,7 +627,7 @@ func persistentServer(t *testing.T, dir string) (*httptest.Server, *engine.Engin
 		t.Fatal(err)
 	}
 	t.Cleanup(eng.Close) // Close is idempotent; tests may also close early
-	ts := httptest.NewServer(newServer(eng))
+	ts := httptest.NewServer(newServer(eng, serverOptions{Metrics: obs.NewRegistry()}))
 	t.Cleanup(ts.Close)
 	return ts, eng
 }
@@ -756,5 +760,83 @@ func TestQueryUnknownSolver(t *testing.T) {
 		map[string]any{"graph": "grid", "kind": "dist-domset", "r": 1, "solver": "dvorak"}, &e)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("dvorak on dist-domset: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	registerGrid(t, ts, "grid", 81)
+	doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "domset", "r": 1}, nil)
+	doJSON(t, "POST", ts.URL+"/query", map[string]any{"graph": "grid", "kind": "domset", "r": 1}, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.TextContentType {
+		t.Fatalf("metrics Content-Type = %q, want %q", ct, obs.TextContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`bedom_queries_total{kind="domset",solver="paper"} 2`,
+		"# TYPE bedom_query_seconds histogram",
+		`bedom_query_seconds_count{kind="domset",solver="paper"} 2`,
+		"# TYPE bedom_cache_hits_total counter",
+		"# TYPE bedom_cache_misses_total counter",
+		`bedom_substrate_build_seconds_count{stage="order"} 1`,
+		"bedom_graphs 1",
+		`bedom_http_requests_total{route="POST /query",code="200"} 2`,
+		"# TYPE bedom_http_request_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+	// The repeated domset query must hit the substrate cache; the warm-up
+	// query's builds must all be misses, never hits.
+	if strings.Contains(body, "\nbedom_cache_hits_total 0\n") {
+		t.Error("metrics exposition reports zero cache hits after a repeated query")
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", body)
+	}
+}
+
+func TestObservabilityHeaders(t *testing.T) {
+	ts := testServer(t)
+	for _, path := range []string{"/stats", "/healthz", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s: Cache-Control = %q, want no-store", path, cc)
+		}
+		if qid := resp.Header.Get("X-Query-ID"); !strings.HasPrefix(qid, "q-") {
+			t.Errorf("%s: X-Query-ID = %q, want q- prefix", path, qid)
+		}
+	}
+	// Distinct requests get distinct query ids.
+	r1, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Body.Close()
+	r2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if a, b := r1.Header.Get("X-Query-ID"), r2.Header.Get("X-Query-ID"); a == b {
+		t.Fatalf("query ids not unique: %q", a)
 	}
 }

@@ -83,6 +83,11 @@ type Options struct {
 	// CongestBC models (0 = unlimited; sizes are still tracked in Stats).
 	// It is ignored in the Local model.
 	Bandwidth int
+	// Phase labels the run in the simulator metrics (bedom_dist_*): the
+	// pipeline stage this run implements, e.g. "wreach" or "election".
+	// internal/distalgo tags each of its stages; an empty phase is recorded
+	// under the empty label value.
+	Phase string
 }
 
 // Message is the interface of everything sent between nodes.  Words reports

@@ -1,0 +1,49 @@
+package dist
+
+import (
+	"time"
+
+	"bedom/internal/obs"
+)
+
+// Simulator metrics, recorded into the process-wide default registry
+// (obs.Default) so one domserved /metrics scrape covers every run,
+// regardless of which engine or pipeline triggered it.  Labels: the
+// communication model (LOCAL / CONGEST / CONGEST_BC) and the pipeline phase
+// (Options.Phase; internal/distalgo tags each of its stages).  The counters
+// mirror Stats — rounds, point-to-point deliveries, delivered words — which
+// are exactly the quantities the paper's CONGEST accounting (and the E10
+// successor comparison) measures.
+var (
+	distRuns = obs.Default().CounterVec("bedom_dist_runs_total",
+		"Completed simulator runs, by model and pipeline phase.", "model", "phase")
+	distErrors = obs.Default().CounterVec("bedom_dist_errors_total",
+		"Simulator runs that ended in an error (model violation, round overrun).", "model", "phase")
+	distRounds = obs.Default().CounterVec("bedom_dist_rounds_total",
+		"Synchronous rounds executed, by model and pipeline phase.", "model", "phase")
+	distMessages = obs.Default().CounterVec("bedom_dist_messages_total",
+		"Point-to-point message deliveries (a broadcast to d neighbors counts d).", "model", "phase")
+	distWords = obs.Default().CounterVec("bedom_dist_words_total",
+		"Delivered words (message sizes summed over deliveries).", "model", "phase")
+	distSeconds = obs.Default().HistogramVec("bedom_dist_run_seconds",
+		"Wall-clock duration of one simulator run.", nil, "model", "phase")
+	distMaxWords = obs.Default().HistogramVec("bedom_dist_max_message_words",
+		"Largest delivered message per run, in words (the CONGEST bandwidth witness).",
+		obs.SizeBuckets, "model", "phase")
+)
+
+// recordRun accounts one finished simulator run.
+func recordRun(model Model, phase string, st Stats, d time.Duration, err error) {
+	m := model.String()
+	distRuns.With(m, phase).Inc()
+	distRounds.With(m, phase).Add(uint64(st.Rounds))
+	distMessages.With(m, phase).Add(uint64(st.Messages))
+	distWords.With(m, phase).Add(uint64(st.Words))
+	distSeconds.With(m, phase).ObserveDuration(d)
+	if st.MaxMessageWords > 0 {
+		distMaxWords.With(m, phase).Observe(float64(st.MaxMessageWords))
+	}
+	if err != nil {
+		distErrors.With(m, phase).Inc()
+	}
+}

@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"bedom/internal/graph"
 )
@@ -66,10 +67,20 @@ func NewRunner(g *graph.Graph, model Model, opts Options) *Runner {
 //
 // Termination: the run ends after the first round in which no node sent a
 // message and every node implementing Halter is done.
+//
+// Every run (successful or failed) is accounted in the process-wide
+// simulator metrics under its model and Options.Phase (see metrics.go).
 func (r *Runner) Run(factory func(v int) Node) (Stats, error) {
 	if r.used {
 		return Stats{}, ErrRunnerReused
 	}
+	start := time.Now()
+	st, err := r.run(factory)
+	recordRun(r.model, r.opts.Phase, st, time.Since(start), err)
+	return st, err
+}
+
+func (r *Runner) run(factory func(v int) Node) (Stats, error) {
 	r.used = true
 	if !r.model.valid() {
 		return Stats{}, fmt.Errorf("%w: %d", ErrBadModel, int(r.model))

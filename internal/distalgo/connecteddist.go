@@ -111,6 +111,9 @@ func RunConnectedDomSetWithOrder(g *graph.Graph, o *order.Order, r int, model di
 		inD[v] = true
 	}
 	nodes := make([]*markNode, g.N())
+	if opts.Phase == "" {
+		opts.Phase = "connect"
+	}
 	runner := dist.NewRunner(g, model, opts)
 	mstats, err := runner.Run(func(v int) dist.Node {
 		n := &markNode{id: v, inD: inD[v], maxForward: 2*r + 1}

@@ -193,6 +193,9 @@ func RunDomSet(g *graph.Graph, r int, model dist.Model, opts dist.Options) (*Dom
 // runElection runs the routing/election phase shared by Theorems 9 and 10.
 func runElection(g *graph.Graph, witnesses [][]order.PathTo, r int, model dist.Model, opts dist.Options) ([]int, dist.Stats, error) {
 	nodes := make([]*electNode, g.N())
+	if opts.Phase == "" {
+		opts.Phase = "election"
+	}
 	runner := dist.NewRunner(g, model, opts)
 	stats, err := runner.Run(func(v int) dist.Node {
 		n := &electNode{id: v, r: r}

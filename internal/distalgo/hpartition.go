@@ -91,6 +91,9 @@ func RunHPartition(g *graph.Graph, model dist.Model, a int, eps float64, opts di
 	}
 	threshold := int(float64(a) * (2 + eps))
 	nodes := make([]*hpartitionNode, g.N())
+	if opts.Phase == "" {
+		opts.Phase = "hpartition"
+	}
 	runner := dist.NewRunner(g, model, opts)
 	stats, err := runner.Run(func(v int) dist.Node {
 		nodes[v] = &hpartitionNode{id: v, threshold: threshold}

@@ -317,6 +317,9 @@ func RunKSV(g *graph.Graph, r int, model dist.Model, opts dist.Options) (*KSVRes
 		return &KSVResult{}, nil
 	}
 	nodes := make([]*ksvNode, g.N())
+	if opts.Phase == "" {
+		opts.Phase = "kubsv"
+	}
 	runner := dist.NewRunner(g, model, opts)
 	stats, err := runner.Run(func(v int) dist.Node {
 		nodes[v] = &ksvNode{id: v, r: r}

@@ -269,6 +269,9 @@ type LenzenResult struct {
 // approximation factor) but produces a valid dominating set on every graph.
 func RunLenzen(g *graph.Graph, opts dist.Options) (*LenzenResult, error) {
 	nodes := make([]*lenzenNode, g.N())
+	if opts.Phase == "" {
+		opts.Phase = "lenzen"
+	}
 	runner := dist.NewRunner(g, dist.Local, opts)
 	stats, err := runner.Run(func(v int) dist.Node {
 		nodes[v] = &lenzenNode{id: v}

@@ -197,6 +197,9 @@ func RunLocalConnector(g *graph.Graph, D []int, r int, opts dist.Options) (*Loca
 		inD[v] = true
 	}
 	nodes := make([]*localConnectNode, g.N())
+	if opts.Phase == "" {
+		opts.Phase = "local-connect"
+	}
 	runner := dist.NewRunner(g, dist.Local, opts)
 	stats, err := runner.Run(func(v int) dist.Node {
 		nodes[v] = &localConnectNode{id: v, r: r, inD: inD[v]}

@@ -264,6 +264,9 @@ func RunRefinedOrder(g *graph.Graph, horizon int, threshold int, model dist.Mode
 	}
 
 	nodes := make([]*refinedNode, g.N())
+	if opts.Phase == "" {
+		opts.Phase = "refined-order"
+	}
 	runner := dist.NewRunner(g, model, opts)
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {

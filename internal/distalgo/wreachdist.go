@@ -151,6 +151,9 @@ func RunWReachDist(g *graph.Graph, o *order.Order, horizon int, model dist.Model
 	}
 	pos := o.Positions()
 	nodes := make([]*wreachNode, g.N())
+	if opts.Phase == "" {
+		opts.Phase = "wreach"
+	}
 	runner := dist.NewRunner(g, model, opts)
 	stats, err := runner.Run(func(v int) dist.Node {
 		nodes[v] = &wreachNode{id: v, pos: pos, horizon: horizon}

@@ -61,23 +61,30 @@ type substrateCache struct {
 	// again, so the entry would only waste an LRU slot).
 	retired map[uint64]struct{}
 
-	// Counters (atomic; read by Engine.Stats).
-	hits      atomic.Uint64
-	misses    atomic.Uint64 // == number of builds started
-	coalesced atomic.Uint64 // callers that waited on an in-flight build
-	evictions atomic.Uint64
+	// stats holds the cache counters (hits/misses/coalesced/evictions live
+	// in the engine's metrics registry so Stats and /metrics read the same
+	// atomics).
+	stats *statsCollector
 	// buildNanos totals exclusive build time.  Builders report their own
 	// leaf work via timedBuild so that a build nested inside another (the
 	// order build underneath a wcol or cover build) is counted once.
 	buildNanos atomic.Int64
 }
 
-// timedBuild runs f and adds its duration to the exclusive build-time total.
-func (c *substrateCache) timedBuild(f func() any) any {
+// timedBuild runs f, adds its duration to the exclusive build-time total and
+// records it in the per-stage build histogram.
+func (c *substrateCache) timedBuild(stage string, f func() any) any {
 	start := time.Now()
 	v := f()
-	c.buildNanos.Add(int64(time.Since(start)))
+	c.addBuildTime(stage, time.Since(start))
 	return v
+}
+
+// addBuildTime accounts d as exclusive build time of the given stage (used
+// directly by builds that must subtract nested fetch time; see domsetFor).
+func (c *substrateCache) addBuildTime(stage string, d time.Duration) {
+	c.buildNanos.Add(int64(d))
+	c.stats.buildSeconds.With(stage).ObserveDuration(d)
 }
 
 type cacheEntry struct {
@@ -91,13 +98,14 @@ type inflightBuild struct {
 	err  error
 }
 
-func newSubstrateCache(capacity int) *substrateCache {
+func newSubstrateCache(capacity int, stats *statsCollector) *substrateCache {
 	return &substrateCache{
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[substrateKey]*list.Element),
 		inflight: make(map[substrateKey]*inflightBuild),
 		retired:  make(map[uint64]struct{}),
+		stats:    stats,
 	}
 }
 
@@ -113,7 +121,7 @@ func (c *substrateCache) getOrBuild(ctx context.Context, key substrateKey, build
 		c.ll.MoveToFront(el)
 		v := el.Value.(*cacheEntry).val
 		c.mu.Unlock()
-		c.hits.Add(1)
+		c.stats.cacheHits.Inc()
 		return v, true, nil
 	}
 	if call, ok := c.inflight[key]; ok {
@@ -123,14 +131,14 @@ func (c *substrateCache) getOrBuild(ctx context.Context, key substrateKey, build
 		case <-ctx.Done():
 			return nil, false, ctx.Err()
 		}
-		c.coalesced.Add(1)
+		c.stats.cacheCoalesced.Inc()
 		return call.val, true, call.err
 	}
 	call := &inflightBuild{done: make(chan struct{})}
 	c.inflight[key] = call
 	c.mu.Unlock()
 
-	c.misses.Add(1)
+	c.stats.cacheMisses.Inc()
 	call.val, call.err = build()
 
 	c.mu.Lock()
@@ -141,7 +149,7 @@ func (c *substrateCache) getOrBuild(ctx context.Context, key substrateKey, build
 			back := c.ll.Back()
 			c.ll.Remove(back)
 			delete(c.items, back.Value.(*cacheEntry).key)
-			c.evictions.Add(1)
+			c.stats.cacheEvictions.Inc()
 		}
 	}
 	c.mu.Unlock()
@@ -161,7 +169,7 @@ func (c *substrateCache) join(ctx context.Context, key substrateKey) (val any, h
 		c.ll.MoveToFront(el)
 		v := el.Value.(*cacheEntry).val
 		c.mu.Unlock()
-		c.hits.Add(1)
+		c.stats.cacheHits.Inc()
 		return v, true, true, nil
 	}
 	call, ok := c.inflight[key]
@@ -174,7 +182,7 @@ func (c *substrateCache) join(ctx context.Context, key substrateKey) (val any, h
 	case <-ctx.Done():
 		return nil, true, false, ctx.Err()
 	}
-	c.coalesced.Add(1)
+	c.stats.cacheCoalesced.Inc()
 	return call.val, true, true, call.err
 }
 

@@ -32,6 +32,7 @@ import (
 
 	"bedom/internal/dist"
 	"bedom/internal/graph"
+	"bedom/internal/obs"
 	"bedom/internal/order"
 	"bedom/internal/store"
 )
@@ -88,6 +89,12 @@ type Config struct {
 	// background loop (Checkpoint can still be called explicitly).  Ignored
 	// by New — only Open starts the checkpointer.
 	CheckpointInterval time.Duration
+	// Metrics is the registry the engine's counters, gauges and latency
+	// histograms register in (nil = a private registry; cmd/domserved passes
+	// obs.Default so one /metrics scrape covers the whole process).  A
+	// registry must not be shared by two live engines — the per-engine
+	// gauges would shadow each other.
+	Metrics *obs.Registry
 }
 
 func (c Config) normalised() Config {
@@ -255,16 +262,28 @@ type anonHandle struct {
 // New returns a ready engine.
 func New(cfg Config) *Engine {
 	cfg = cfg.normalised()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	stats := newStatsCollector(reg)
 	e := &Engine{
 		cfg:        cfg,
-		cache:      newSubstrateCache(cfg.CacheEntries),
+		cache:      newSubstrateCache(cfg.CacheEntries, stats),
 		exec:       newExecutor(cfg.Workers, cfg.QueueDepth),
-		stats:      &statsCollector{},
+		stats:      stats,
 		rebuildSem: make(chan struct{}, cfg.MaxConcurrentRebuilds),
 		graphs:     make(map[string]*graphEntry),
 		anon:       make(map[weak.Pointer[graph.Graph]]anonHandle),
 	}
 	e.substrateWorkers.Store(int32(cfg.SubstrateWorkers))
+	// Scrape-time gauges.  The closures keep the engine reachable for the
+	// registry's lifetime, which is why sharing a registry across engines is
+	// documented out (the last registrant would win anyway).
+	reg.GaugeFunc("bedom_graphs", "Registered graphs.", func() float64 { return float64(e.GraphCount()) })
+	reg.GaugeFunc("bedom_cache_entries", "Live substrate cache entries.", func() float64 { return float64(e.cache.len()) })
+	reg.Gauge("bedom_cache_capacity", "Substrate cache capacity (LRU bound).").Set(float64(cfg.CacheEntries))
+	reg.Gauge("bedom_max_concurrent_rebuilds", "Rebuild admission guard capacity.").Set(float64(cfg.MaxConcurrentRebuilds))
 	return e
 }
 
@@ -581,9 +600,11 @@ func (e *Engine) OrderFor(g *graph.Graph, r int) (*order.Order, bool, error) {
 }
 
 func (e *Engine) orderFor(ctx context.Context, g *graph.Graph, gen uint64, r int) (*order.Order, bool, error) {
+	_, sp := obs.Start(ctx, "substrate:order")
+	defer sp.End()
 	v, hit, err := e.getSubstrate(ctx, substrateKey{gen: gen, kind: kindOrder, a: r}, func() (any, error) {
 		workers := e.substrateWorkerCount()
-		return e.cache.timedBuild(func() any {
+		return e.cache.timedBuild("order", func() any {
 			opts := order.DefaultOptions(r)
 			opts.Workers = workers
 			return order.Construct(g, opts).Order
@@ -603,13 +624,15 @@ func (e *Engine) orderFor(ctx context.Context, g *graph.Graph, gen uint64, r int
 // timeout would be recorded as the build's error and handed to every
 // coalesced waiter.
 func (e *Engine) wreachFor(ctx context.Context, g *graph.Graph, gen uint64, orderR, s int) ([][]int, bool, error) {
+	_, sp := obs.Start(ctx, "substrate:wreach")
+	defer sp.End()
 	v, hit, err := e.getSubstrate(ctx, substrateKey{gen: gen, kind: kindWReach, a: orderR, b: s}, func() (any, error) {
 		o, _, err := e.orderFor(admittedCtx, g, gen, orderR)
 		if err != nil {
 			return nil, err
 		}
 		workers := e.substrateWorkerCount()
-		return e.cache.timedBuild(func() any { return order.WReachSetsWorkers(g, o, s, workers) }), nil
+		return e.cache.timedBuild("wreach", func() any { return order.WReachSetsWorkers(g, o, s, workers) }), nil
 	})
 	if err != nil {
 		return nil, hit, err

@@ -14,6 +14,7 @@ import (
 	"bedom/internal/domset"
 	"bedom/internal/gen"
 	"bedom/internal/graph"
+	"bedom/internal/obs"
 	"bedom/internal/order"
 )
 
@@ -325,7 +326,7 @@ func TestReRegisterPurgesCache(t *testing.T) {
 // after its graph generation was purged (graph removed or re-registered
 // mid-build) is returned to its waiters but not inserted into the LRU.
 func TestPurgedGenerationNotCached(t *testing.T) {
-	c := newSubstrateCache(8)
+	c := newSubstrateCache(8, newStatsCollector(obs.NewRegistry()))
 	key := substrateKey{gen: 42, kind: kindOrder, a: 1}
 	v, hit, err := c.getOrBuild(context.Background(), key, func() (any, error) {
 		c.purge(42) // the graph disappears while the build runs

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"bedom/internal/graph"
 )
@@ -49,6 +50,7 @@ func (e *Engine) Mutate(name string, delta Delta) (MutationInfo, error) {
 		return MutationInfo{}, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
 	}
 
+	start := time.Now()
 	ent.mutMu.Lock()
 	defer ent.mutMu.Unlock()
 
@@ -102,21 +104,25 @@ func (e *Engine) Mutate(name string, delta Delta) (MutationInfo, error) {
 	// surfaced afterwards.
 	var teeErr error
 	if e.store != nil {
+		walStart := time.Now()
 		lsn, err := e.store.AppendDelta(name, ent.epoch, gen, delta)
+		e.stats.walAppendSeconds.ObserveSince(walStart)
 		if err != nil {
-			e.stats.persistErrors.Add(1)
+			e.stats.persistErrors.Inc()
 			teeErr = fmt.Errorf("engine: delta applied but not persisted: %w", err)
 		} else {
+			e.stats.walAppends.Inc()
 			ent.lastLSN = lsn
 		}
 	}
 	info.Graph = ent.info(gen)
 
 	ent.mutations.Add(1)
-	e.stats.mutations.Add(1)
+	e.stats.mutations.Inc()
 	if res.Compacted {
-		e.stats.compactions.Add(1)
+		e.stats.compactions.Inc()
 	}
 	info.InvalidatedSubstrates = e.cache.purge(oldGen)
+	e.stats.mutateSeconds.ObserveSince(start)
 	return info, teeErr
 }

@@ -112,10 +112,14 @@ func (e *Engine) persistRegistration(name string, gen uint64, dyn *graph.Dynamic
 	epoch = e.store.NextEpoch()
 	covered = e.store.LastLSN()
 	meta := store.SnapshotMeta{Name: name, Epoch: epoch, CoveredLSN: covered, Gen: gen}
-	if err := e.store.SaveSnapshot(meta, dyn.Snapshot()); err != nil {
-		e.stats.persistErrors.Add(1)
+	start := time.Now()
+	err = e.store.SaveSnapshot(meta, dyn.Snapshot())
+	e.stats.snapshotWriteSeconds.ObserveSince(start)
+	if err != nil {
+		e.stats.persistErrors.Inc()
 		return 0, 0, fmt.Errorf("engine: persisting graph %q: %w", name, err)
 	}
+	e.stats.snapshotWrites.Inc()
 	return epoch, covered, nil
 }
 
@@ -147,10 +151,11 @@ func (e *Engine) Checkpoint() (CheckpointInfo, error) {
 	}
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
+	start := time.Now()
 
 	obsolete, err := e.store.RotateWAL()
 	if err != nil {
-		e.stats.persistErrors.Add(1)
+		e.stats.persistErrors.Inc()
 		return CheckpointInfo{}, fmt.Errorf("engine: checkpoint rotate: %w", err)
 	}
 	e.mu.Lock()
@@ -180,20 +185,26 @@ func (e *Engine) Checkpoint() (CheckpointInfo, error) {
 		meta := store.SnapshotMeta{Name: ent.name, Epoch: ent.epoch, CoveredLSN: ent.lastLSN, Gen: gen}
 		snap := ent.dyn.Snapshot()
 		ent.mutMu.Unlock()
-		if err := e.store.SaveSnapshot(meta, snap); err != nil {
-			e.stats.persistErrors.Add(1)
+		snapStart := time.Now()
+		err := e.store.SaveSnapshot(meta, snap)
+		e.stats.snapshotWriteSeconds.ObserveSince(snapStart)
+		if err != nil {
+			e.stats.persistErrors.Inc()
 			return info, fmt.Errorf("engine: checkpoint snapshot %q: %w", ent.name, err)
 		}
+		e.stats.snapshotWrites.Inc()
 		info.Graphs++
 	}
 	if err := e.store.RemoveSegments(obsolete); err != nil {
-		e.stats.persistErrors.Add(1)
+		e.stats.persistErrors.Inc()
 		return info, fmt.Errorf("engine: checkpoint cleanup: %w", err)
 	}
 	info.SegmentsRemoved = len(obsolete)
 	info.LastLSN = e.store.LastLSN()
 	e.lastCkptLSN.Store(info.LastLSN)
 	e.ckptRan.Store(true)
+	e.stats.checkpoints.Inc()
+	e.stats.checkpointSeconds.ObserveSince(start)
 	return info, nil
 }
 

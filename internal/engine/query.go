@@ -14,6 +14,7 @@ import (
 	"bedom/internal/distalgo"
 	"bedom/internal/domset"
 	"bedom/internal/graph"
+	"bedom/internal/obs"
 	"bedom/internal/solver"
 )
 
@@ -175,34 +176,41 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	ctx, cancel := e.withTimeout(ctx, req)
 	defer cancel()
 
+	// Resolve the (kind, solver) metric labels and count the query BEFORE it
+	// runs: cache hits are recorded mid-run, so counting first keeps the
+	// "hits ≤ queries" invariant observable in every Stats snapshot (which
+	// loads hits before the query counters).
+	kindLabel := string(req.Kind)
+	solverLabel := ""
+	switch req.Kind {
+	case KindDominatingSet, KindGreedy, KindDistributedDominatingSet:
+		// Validation resolved the strategy, so this cannot fail here.
+		if s, serr := req.solverStrategy(); serr == nil {
+			solverLabel = s.Name()
+		}
+	}
+	e.stats.queries.With(kindLabel, solverLabel).Inc()
+	latency := e.stats.querySeconds.With(kindLabel, solverLabel)
+
 	var resp *Response
 	var qerr error
 	err = e.exec.submit(ctx, func() {
 		start := time.Now()
 		resp, qerr = e.run(ctx, req, g, gen)
 		elapsed := time.Since(start)
-		e.stats.queryNanos.Add(int64(elapsed))
+		latency.ObserveDuration(elapsed)
 		if resp != nil {
 			resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 		}
 	})
-	e.stats.queries.Add(1)
-	e.stats.countKind(req.Kind)
-	switch req.Kind {
-	case KindDominatingSet, KindGreedy, KindDistributedDominatingSet:
-		// Validation resolved the strategy, so this cannot fail here.
-		if s, serr := req.solverStrategy(); serr == nil {
-			e.stats.countSolver(s.Name())
-		}
-	}
 	if err == nil {
 		err = qerr
 	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			e.stats.timeouts.Add(1)
+			e.stats.timeouts.Inc()
 		}
-		e.stats.errors.Add(1)
+		e.stats.errors.Inc()
 		return nil, err
 	}
 	return resp, nil
@@ -251,6 +259,8 @@ func (e *Engine) validate(req Request) error {
 // context is observed at every stage boundary so an abandoned query releases
 // its worker as early as possible.
 func (e *Engine) run(ctx context.Context, req Request, g *graph.Graph, gen uint64) (*Response, error) {
+	_, sp := obs.Start(ctx, "query:"+string(req.Kind))
+	defer sp.End()
 	resp := &Response{Graph: req.Graph, Kind: req.Kind, R: req.R}
 	switch req.Kind {
 	case KindDominatingSet, KindGreedy:
@@ -357,6 +367,8 @@ type coverSubstrate struct {
 }
 
 func (e *Engine) coverFor(ctx context.Context, g *graph.Graph, gen uint64, r int) (*coverSubstrate, bool, error) {
+	_, sp := obs.Start(ctx, "substrate:cover")
+	defer sp.End()
 	v, hit, err := e.getSubstrate(ctx, substrateKey{gen: gen, kind: kindCover, a: r}, func() (any, error) {
 		// admittedCtx: see wreachFor — a shared build must not inherit one
 		// requester's deadline, and nested fetches run on the parent build's
@@ -372,7 +384,7 @@ func (e *Engine) coverFor(ctx context.Context, g *graph.Graph, gen uint64, r int
 			return nil, err
 		}
 		workers := e.substrateWorkerCount()
-		return e.cache.timedBuild(func() any {
+		return e.cache.timedBuild("cover", func() any {
 			c := cover.BuildFromSets(g, r, setsR, sets2r, workers)
 			return &coverSubstrate{cover: c, stats: c.ComputeStatsWorkers(g, workers)}
 		}), nil

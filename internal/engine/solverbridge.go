@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bedom/internal/graph"
+	"bedom/internal/obs"
 	"bedom/internal/order"
 	"bedom/internal/solver"
 )
@@ -64,6 +65,8 @@ func (s *engineSubstrate) Wcol(_ context.Context, orderR, r int) (int, error) {
 // result (or, on a result miss, every substrate the solver fetched) was
 // served from the cache.
 func (e *Engine) domsetFor(ctx context.Context, g *graph.Graph, gen uint64, r int, s solver.Solver) (solver.Result, bool, error) {
+	_, sp := obs.Start(ctx, "substrate:domset")
+	defer sp.End()
 	key := substrateKey{gen: gen, kind: kindDomset, a: r, solver: s.Name()}
 	var warm bool
 	v, hit, err := e.getSubstrate(ctx, key, func() (any, error) {
@@ -75,7 +78,7 @@ func (e *Engine) domsetFor(ctx context.Context, g *graph.Graph, gen uint64, r in
 		}
 		// Exclusive build time: nested substrate fetches account themselves
 		// via timedBuild, so only the solver's own compute is added here.
-		e.cache.buildNanos.Add(int64(time.Since(start) - sub.nested))
+		e.cache.addBuildTime("solve", time.Since(start)-sub.nested)
 		warm = sub.allHit
 		return res, nil
 	})

@@ -2,53 +2,80 @@ package engine
 
 import (
 	"sort"
-	"sync"
-	"sync/atomic"
 
+	"bedom/internal/obs"
 	"bedom/internal/store"
 )
 
-// statsCollector accumulates engine-level counters (cache counters live on
-// the substrateCache itself).
+// statsCollector holds the engine's metric handles, all registered in one
+// obs.Registry: the Prometheus exposition and the JSON Stats snapshot read
+// the same underlying counters, so the two views can never diverge.  Handles
+// are resolved once at engine construction; the hot path touches atomics
+// only.
 type statsCollector struct {
-	queries    atomic.Uint64
-	errors     atomic.Uint64
-	timeouts   atomic.Uint64
-	queryNanos atomic.Int64
-	// mutations counts effective Mutate calls across all graphs.
-	mutations atomic.Uint64
-	// compactions counts delta-overlay compactions triggered by Mutate; an
-	// engine-lifetime counter, unlike the per-graph Dynamic stats, so it
-	// survives graph removal and re-registration.
-	compactions atomic.Uint64
-	// rebuildWaits counts substrate fetches that had to wait for a
-	// rebuild-admission slot (the guard was saturated).
-	rebuildWaits atomic.Uint64
-	// persistErrors counts persistence failures (snapshot writes, WAL
-	// appends, checkpoint steps) on engines with a data directory.
-	persistErrors atomic.Uint64
+	reg *obs.Registry
 
-	mu        sync.Mutex
-	perKind   map[Kind]uint64
-	perSolver map[string]uint64
+	// queries counts every accepted query by (kind, solver); the solver
+	// label is empty for kinds pinned to the paper pipeline.  Do increments
+	// it BEFORE submitting to the executor, so any cache hit a query records
+	// is always preceded by its query count (Stats reads hits first, keeping
+	// hits ≤ queries in every snapshot).
+	queries      *obs.CounterVec
+	querySeconds *obs.HistogramVec
+	errors       *obs.Counter
+	timeouts     *obs.Counter
+
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheCoalesced *obs.Counter
+	cacheEvictions *obs.Counter
+	rebuildWaits   *obs.Counter
+	// buildSeconds breaks substrate construction down by stage (order,
+	// wreach, cover, solve); each build site reports its exclusive leaf work
+	// (see substrateCache.timedBuild), so stage sums add up to BuildMSTotal.
+	buildSeconds *obs.HistogramVec
+
+	mutations     *obs.Counter
+	compactions   *obs.Counter
+	mutateSeconds *obs.Histogram
+
+	walAppends           *obs.Counter
+	walAppendSeconds     *obs.Histogram
+	snapshotWrites       *obs.Counter
+	snapshotWriteSeconds *obs.Histogram
+	checkpoints          *obs.Counter
+	checkpointSeconds    *obs.Histogram
+	persistErrors        *obs.Counter
 }
 
-func (s *statsCollector) countKind(k Kind) {
-	s.mu.Lock()
-	if s.perKind == nil {
-		s.perKind = make(map[Kind]uint64)
-	}
-	s.perKind[k]++
-	s.mu.Unlock()
-}
+func newStatsCollector(reg *obs.Registry) *statsCollector {
+	return &statsCollector{
+		reg: reg,
 
-func (s *statsCollector) countSolver(name string) {
-	s.mu.Lock()
-	if s.perSolver == nil {
-		s.perSolver = make(map[string]uint64)
+		queries:      reg.CounterVec("bedom_queries_total", "Queries accepted, by kind and solver strategy.", "kind", "solver"),
+		querySeconds: reg.HistogramVec("bedom_query_seconds", "Query execution latency (excluding queueing), by kind and solver.", nil, "kind", "solver"),
+		errors:       reg.Counter("bedom_query_errors_total", "Queries that failed (validation, unknown graph, execution error or timeout)."),
+		timeouts:     reg.Counter("bedom_query_timeouts_total", "Queries that exceeded their deadline."),
+
+		cacheHits:      reg.Counter("bedom_cache_hits_total", "Substrate cache hits."),
+		cacheMisses:    reg.Counter("bedom_cache_misses_total", "Substrate cache misses (builds started)."),
+		cacheCoalesced: reg.Counter("bedom_cache_coalesced_total", "Queries that waited on a concurrent build of the same substrate."),
+		cacheEvictions: reg.Counter("bedom_cache_evictions_total", "Substrates evicted from the LRU."),
+		rebuildWaits:   reg.Counter("bedom_rebuild_waits_total", "Substrate fetches that waited for a rebuild-admission slot."),
+		buildSeconds:   reg.HistogramVec("bedom_substrate_build_seconds", "Exclusive substrate build time by stage (order, wreach, cover, solve).", nil, "stage"),
+
+		mutations:     reg.Counter("bedom_mutations_total", "Effective Mutate calls across all graphs."),
+		compactions:   reg.Counter("bedom_compactions_total", "Delta-overlay compactions triggered by Mutate."),
+		mutateSeconds: reg.Histogram("bedom_mutate_seconds", "Mutate latency (apply, WAL tee and cache purge).", nil),
+
+		walAppends:           reg.Counter("bedom_wal_appends_total", "Deltas appended to the WAL."),
+		walAppendSeconds:     reg.Histogram("bedom_wal_append_seconds", "WAL append latency (including group-commit fsync).", nil),
+		snapshotWrites:       reg.Counter("bedom_snapshot_writes_total", "Graph snapshots written (registrations and checkpoints)."),
+		snapshotWriteSeconds: reg.Histogram("bedom_snapshot_write_seconds", "Snapshot encode+write latency.", nil),
+		checkpoints:          reg.Counter("bedom_checkpoints_total", "Completed checkpoint cycles."),
+		checkpointSeconds:    reg.Histogram("bedom_checkpoint_seconds", "Checkpoint cycle latency.", nil),
+		persistErrors:        reg.Counter("bedom_persist_errors_total", "Persistence failures (snapshot writes, WAL appends, checkpoint steps)."),
 	}
-	s.perSolver[name]++
-	s.mu.Unlock()
 }
 
 // KindCount is the number of queries served for one kind.
@@ -151,7 +178,9 @@ type PersistStats struct {
 	Errors uint64 `json:"errors"`
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters.  All counters are read
+// from the metrics registry, so this JSON view and GET /metrics agree by
+// construction.
 func (e *Engine) Stats() Stats {
 	// Snapshot the registry under the lock; each entry's (Gen, N, M) triple
 	// is then read consistently via entryInfo (under its mutation mutex).
@@ -162,26 +191,52 @@ func (e *Engine) Stats() Stats {
 		entries = append(entries, ent)
 	}
 	e.mu.Unlock()
-	misses := e.cache.misses.Load()
+	// Read order matters: cache hits strictly before the query counters.
+	// Do counts a query before submitting it, so every hit is preceded by
+	// its query's increment; loading hits first therefore can never observe
+	// hits > queries, no matter how the loads interleave with live queries.
+	hits := e.stats.cacheHits.Value()
+	misses := e.stats.cacheMisses.Value()
+	coalesced := e.stats.cacheCoalesced.Value()
+	evictions := e.stats.cacheEvictions.Value()
+	queryCounts := e.stats.queries.Counts()
 	st := Stats{
 		Graphs:                graphs,
 		CacheEntries:          e.cache.len(),
 		CacheCapacity:         e.cache.capacity,
-		CacheHits:             e.cache.hits.Load(),
+		CacheHits:             hits,
 		CacheMisses:           misses,
-		Coalesced:             e.cache.coalesced.Load(),
-		Evictions:             e.cache.evictions.Load(),
+		Coalesced:             coalesced,
+		Evictions:             evictions,
 		SubstrateBuilds:       misses,
 		BuildMSTotal:          float64(e.cache.buildNanos.Load()) / 1e6,
-		Queries:               e.stats.queries.Load(),
-		Errors:                e.stats.errors.Load(),
-		Timeouts:              e.stats.timeouts.Load(),
-		QueryMSTotal:          float64(e.stats.queryNanos.Load()) / 1e6,
-		Mutations:             e.stats.mutations.Load(),
-		Compactions:           e.stats.compactions.Load(),
-		RebuildWaits:          e.stats.rebuildWaits.Load(),
+		Errors:                e.stats.errors.Value(),
+		Timeouts:              e.stats.timeouts.Value(),
+		QueryMSTotal:          e.stats.querySeconds.TotalSum() * 1e3,
+		Mutations:             e.stats.mutations.Value(),
+		Compactions:           e.stats.compactions.Value(),
+		RebuildWaits:          e.stats.rebuildWaits.Value(),
 		MaxConcurrentRebuilds: e.cfg.MaxConcurrentRebuilds,
 	}
+	// Derive the query totals and the per-kind / per-solver breakdowns from
+	// one snapshot of the (kind, solver) counter family.
+	perKind := make(map[Kind]uint64)
+	perSolver := make(map[string]uint64)
+	for _, c := range queryCounts {
+		st.Queries += c.Value
+		perKind[Kind(c.Labels[0])] += c.Value
+		if c.Labels[1] != "" {
+			perSolver[c.Labels[1]] += c.Value
+		}
+	}
+	for k, c := range perKind {
+		st.PerKind = append(st.PerKind, KindCount{Kind: k, Count: c})
+	}
+	for name, c := range perSolver {
+		st.PerSolver = append(st.PerSolver, SolverCount{Solver: name, Count: c})
+	}
+	sort.Slice(st.PerKind, func(i, j int) bool { return st.PerKind[i].Kind < st.PerKind[j].Kind })
+	sort.Slice(st.PerSolver, func(i, j int) bool { return st.PerSolver[i].Solver < st.PerSolver[j].Solver })
 	graphStats := make([]GraphStat, len(entries))
 	for i, ent := range entries {
 		gs := &graphStats[i]
@@ -204,18 +259,8 @@ func (e *Engine) Stats() Stats {
 			ReplayedRecords:   e.replayed,
 			SkippedRecords:    e.replaySkipped,
 			LastCheckpointLSN: e.lastCkptLSN.Load(),
-			Errors:            e.stats.persistErrors.Load(),
+			Errors:            e.stats.persistErrors.Value(),
 		}
 	}
-	e.stats.mu.Lock()
-	for k, c := range e.stats.perKind {
-		st.PerKind = append(st.PerKind, KindCount{Kind: k, Count: c})
-	}
-	for name, c := range e.stats.perSolver {
-		st.PerSolver = append(st.PerSolver, SolverCount{Solver: name, Count: c})
-	}
-	e.stats.mu.Unlock()
-	sort.Slice(st.PerKind, func(i, j int) bool { return st.PerKind[i].Kind < st.PerKind[j].Kind })
-	sort.Slice(st.PerSolver, func(i, j int) bool { return st.PerSolver[i].Solver < st.PerSolver[j].Solver })
 	return st
 }

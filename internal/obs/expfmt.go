@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format version 0.0.4 (what GET /metrics serves).
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every family in the Prometheus text exposition
+// format: families sorted by name, one `# HELP` and `# TYPE` line each, and
+// series sorted by label values.  Histograms expose cumulative `_bucket`
+// lines (le-labelled, ending in +Inf), `_sum` and `_count`, per the format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *family) write(w *bufio.Writer) error {
+	f.mu.RLock()
+	series := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		series = append(series, s)
+	}
+	fn := f.fn
+	f.mu.RUnlock()
+	if len(series) == 0 && fn == nil {
+		return nil // a Vec with no series yet: expose nothing, not an empty family
+	}
+	sort.Slice(series, func(i, j int) bool {
+		a, b := series[i].labelValues, series[j].labelValues
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.typ.String())
+	w.WriteByte('\n')
+
+	if fn != nil {
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(formatFloat(fn()))
+		w.WriteByte('\n')
+	}
+	for _, s := range series {
+		switch f.typ {
+		case typeCounter:
+			writeSample(w, f.name, "", f.labels, s.labelValues, "", "", strconv.FormatUint(s.c.Value(), 10))
+		case typeGauge:
+			writeSample(w, f.name, "", f.labels, s.labelValues, "", "", formatFloat(s.g.Value()))
+		case typeHistogram:
+			h := s.h
+			// Snapshot buckets first, then count/sum: a concurrent Observe
+			// between the loads can only make count ≥ the bucket total,
+			// never leave a bucket line exceeding _count.
+			cum := uint64(0)
+			for i, ub := range h.upper {
+				cum += h.counts[i].Load()
+				writeSample(w, f.name, "_bucket", f.labels, s.labelValues, "le", formatFloat(ub), strconv.FormatUint(cum, 10))
+			}
+			cum += h.counts[len(h.upper)].Load()
+			writeSample(w, f.name, "_bucket", f.labels, s.labelValues, "le", "+Inf", strconv.FormatUint(cum, 10))
+			writeSample(w, f.name, "_sum", f.labels, s.labelValues, "", "", formatFloat(h.Sum()))
+			writeSample(w, f.name, "_count", f.labels, s.labelValues, "", "", strconv.FormatUint(cum, 10))
+		}
+	}
+	return nil
+}
+
+// writeSample writes one exposition line: name+suffix, the label pairs (plus
+// an optional extra pair, used for `le`), and the value.
+func writeSample(w *bufio.Writer, name, suffix string, labels, values []string, extraK, extraV, val string) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(labels) > 0 || extraK != "" {
+		w.WriteByte('{')
+		first := true
+		for i, l := range labels {
+			if !first {
+				w.WriteByte(',')
+			}
+			first = false
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if extraK != "" {
+			if !first {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraK)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(extraV))
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(val)
+	w.WriteByte('\n')
+}
+
+// escapeLabel escapes a label value per the format: backslash, double quote
+// and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text: backslash and newline (quotes are legal).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trippable form; +Inf/-Inf/NaN spelled out).
+func formatFloat(v float64) string {
+	if v > -1e15 && v < 1e15 && v == math.Trunc(v) {
+		// Integral values print without an exponent ("250" not "2.5e+02"),
+		// keeping counters grep-friendly.  The range guard keeps the int64
+		// conversion exact (and excludes ±Inf and NaN, which fail it).
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
