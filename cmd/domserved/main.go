@@ -33,9 +33,17 @@
 //	POST   /admin/checkpoint     fold the WAL into fresh snapshots now
 //	GET    /stats                cache and executor counters, per-graph
 //	                             generations, persistence counters
-//	GET    /healthz              liveness probe
+//	GET    /healthz              tri-state readiness probe: 200 ok, 503
+//	                             degraded (read-only, with reason) or 503
+//	                             overloaded (admission queue full)
 //
 // Query kinds: domset, cds, cover, greedy, dist-domset, dist-cds.
+//
+// Under failure the daemon degrades instead of dying: a failing data
+// directory flips the engine read-only (mutations get 503 + Retry-After,
+// queries keep serving), a full admission queue sheds queries with 503 after
+// a bounded wait (-queue-wait), and handler or solver panics fail only their
+// own request.  See DESIGN.md §12 for the failure model.
 //
 // On SIGINT/SIGTERM the daemon drains in-flight requests
 // (http.Server.Shutdown with a timeout), then takes a final checkpoint and
@@ -66,6 +74,7 @@ func main() {
 		cache    = flag.Int("cache", 128, "substrate cache capacity (LRU entries)")
 		workers  = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 0, "queued-query bound (0 = 4×workers)")
+		queueW   = flag.Duration("queue-wait", 0, "how long a query may wait for a queue slot before being shed with 503 (0 = 500ms, negative = shed immediately)")
 		timeout  = flag.Duration("timeout", 0, "default per-query timeout (0 = none)")
 		subWkrs  = flag.Int("substrate-workers", 0, "goroutines per substrate build (0 = GOMAXPROCS; outputs are identical for any value)")
 		dataDir  = flag.String("data-dir", "", "data directory for durable persistence (empty = in-memory only)")
@@ -79,6 +88,7 @@ func main() {
 		CacheEntries:       *cache,
 		Workers:            *workers,
 		QueueDepth:         *queue,
+		QueueWaitBudget:    *queueW,
 		DefaultTimeout:     *timeout,
 		SubstrateWorkers:   *subWkrs,
 		CheckpointInterval: *ckptIntv,
@@ -121,11 +131,7 @@ func main() {
 		}()
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(eng, serverOptions{Metrics: obs.Default(), SlowQuery: *slowQry}),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	srv := newHTTPServer(*addr, newServer(eng, serverOptions{Metrics: obs.Default(), SlowQuery: *slowQry}), 0)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -48,6 +49,7 @@ type server struct {
 
 	httpRequests *obs.CounterVec   // bedom_http_requests_total{route,code}
 	httpSeconds  *obs.HistogramVec // bedom_http_request_seconds{route}
+	httpPanics   *obs.Counter      // bedom_http_panics_total
 }
 
 // newServer returns the domserved handler tree:
@@ -64,7 +66,8 @@ type server struct {
 //	GET    /stats                engine counters (cache, executor, latency,
 //	                             per-graph generations, per-solver queries)
 //	GET    /metrics              Prometheus text exposition of the registry
-//	GET    /healthz              liveness probe
+//	GET    /healthz              tri-state readiness probe (ok / degraded /
+//	                             overloaded)
 //
 // Every request passes through the observability middleware: it mints a
 // query ID (echoed as X-Query-ID and propagated via the request context, so
@@ -84,6 +87,8 @@ func newServer(eng *engine.Engine, opts serverOptions) http.Handler {
 			"HTTP requests served, by route pattern and status code.", "route", "code"),
 		httpSeconds: reg.HistogramVec("bedom_http_request_seconds",
 			"HTTP request latency, by route pattern.", nil, "route"),
+		httpPanics: reg.Counter("bedom_http_panics_total",
+			"Panics recovered in HTTP handlers (each answered 500 to its own request)."),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /graphs", s.handleRegister)
@@ -100,19 +105,29 @@ func newServer(eng *engine.Engine, opts serverOptions) http.Handler {
 	return s.instrument(mux)
 }
 
-// statusWriter captures the response status for the request metrics.
+// statusWriter captures the response status for the request metrics, and
+// whether a header was sent at all (the panic recoverer must not stack a 500
+// onto a partially written response).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument is the observability middleware: query-ID assignment, per-route
-// request/latency metrics, and slow-request trace logging.
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+// instrument is the observability middleware: query-ID assignment, panic
+// recovery, per-route request/latency metrics, and slow-request trace
+// logging.
 func (s *server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		qid := obs.NewQueryID()
@@ -121,7 +136,32 @@ func (s *server) instrument(next http.Handler) http.Handler {
 		w.Header().Set("X-Query-ID", qid)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		next.ServeHTTP(sw, r)
+		func() {
+			// A handler panic fails its own request with a 500 (the response
+			// still carries X-Query-ID, so the client's error report can be
+			// matched to the stack in the log) and never the process.  The
+			// engine recovers query-pipeline panics itself; this is the
+			// last-resort net for the HTTP layer.
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				if p == http.ErrAbortHandler {
+					// The sentinel for deliberately aborting a response:
+					// honor it rather than masking it as a 500.
+					panic(p)
+				}
+				s.httpPanics.Inc()
+				slog.Error("http handler panicked",
+					"query_id", qid, "method", r.Method, "url", r.URL.Path,
+					"panic", p, "stack", string(debug.Stack()))
+				if !sw.wrote {
+					httpError(sw, http.StatusInternalServerError, "internal server error")
+				}
+			}()
+			next.ServeHTTP(sw, r)
+		}()
 		elapsed := time.Since(start)
 		// Label by the mux's route pattern, not the raw URL: /graphs/{name}
 		// is one series however many graphs exist (metric cardinality must
@@ -190,7 +230,7 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// Any failure here is input-derived (a parse error or a rejected
 			// registration), never a server fault.
-			httpError(w, registerStatusFor(err), err.Error())
+			engineError(w, registerStatusFor(err), err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, info)
@@ -209,7 +249,7 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.eng.Register(req.Name, g)
 	if err != nil {
-		httpError(w, registerStatusFor(err), err.Error())
+		engineError(w, registerStatusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
@@ -335,7 +375,7 @@ func (s *server) handleRegisterStream(w http.ResponseWriter, body io.Reader) {
 	g.Finalize()
 	info, err := s.eng.Register(hdr.Name, g)
 	if err != nil {
-		httpError(w, registerStatusFor(err), err.Error())
+		engineError(w, registerStatusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, streamResponse{GraphInfo: info, EdgesIngested: edges})
@@ -416,7 +456,7 @@ func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.eng.Mutate(name, delta)
 	if err != nil {
-		httpError(w, statusFor(err), err.Error())
+		engineError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -529,7 +569,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.eng.Do(r.Context(), req)
 	if err != nil {
-		httpError(w, statusFor(err), err.Error())
+		engineError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toResponse(resp, nil, q.OmitSets))
@@ -633,18 +673,38 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz is the tri-state readiness probe: 200 "ok" when the engine is
+// fully serviceable, 503 "degraded" (with the reason) when persistence failed
+// and the engine is read-only, 503 "overloaded" while the admission queue is
+// full.  Both 503 shapes carry Retry-After so probes and clients back off.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
+	state, reason := s.eng.Health()
+	body := map[string]any{
+		"status":    state,
 		"graphs":    s.eng.GraphCount(),
 		"uptime_ms": float64(time.Since(s.start)) / float64(time.Millisecond),
-	})
+	}
+	status := http.StatusOK
+	if state != engine.HealthOK {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		if reason != "" {
+			body["reason"] = reason
+		}
+	}
+	writeJSON(w, status, body)
 }
 
 // statusClientClosedRequest is the nginx-convention status for a client that
 // went away mid-request; it keeps ordinary disconnects out of the 5xx rate.
 const statusClientClosedRequest = 499
+
+// retryAfterSeconds is the Retry-After value sent with backpressure 503s:
+// overload drains in roughly a queue's worth of query latencies and degraded
+// mode exits on the next checkpoint cycle, so "soon" is honest — the header's
+// job is pacing well-behaved retries, not predicting recovery.
+const retryAfterSeconds = "1"
 
 // statusFor maps engine errors to HTTP status codes.
 func statusFor(err error) int {
@@ -657,6 +717,12 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, engine.ErrEngineClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, engine.ErrOverloaded), errors.Is(err, engine.ErrDegraded):
+		// Backpressure: the daemon is alive but sheds this request.  Both
+		// paths also send Retry-After (see engineError).
+		return http.StatusServiceUnavailable
+	case errors.Is(err, engine.ErrQueryPanic):
+		return http.StatusInternalServerError
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -668,6 +734,35 @@ func statusFor(err error) int {
 		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusInternalServerError
+	}
+}
+
+// engineError writes an engine failure with its mapped status, attaching
+// Retry-After to every 503 so shed or rejected requests come back paced
+// instead of in a tight retry loop.
+func engineError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	httpError(w, status, err.Error())
+}
+
+// newHTTPServer returns the daemon's hardened http.Server: header reads are
+// bounded (slow-loris), idle keep-alive connections are reaped, response
+// writes are bounded generously (batch responses over large graphs are
+// legitimately slow), and header size is capped.  readHeaderTimeout ≤ 0
+// selects the default.
+func newHTTPServer(addr string, h http.Handler, readHeaderTimeout time.Duration) *http.Server {
+	if readHeaderTimeout <= 0 {
+		readHeaderTimeout = 10 * time.Second
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       2 * time.Minute,
+		WriteTimeout:      15 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
 	}
 }
 

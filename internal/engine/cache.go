@@ -3,9 +3,14 @@ package engine
 import (
 	"container/list"
 	"context"
+	"fmt"
+	"log/slog"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bedom/internal/obs"
 )
 
 // substrateKind discriminates the cached substrate types.
@@ -139,7 +144,24 @@ func (c *substrateCache) getOrBuild(ctx context.Context, key substrateKey, build
 	c.mu.Unlock()
 
 	c.stats.cacheMisses.Inc()
-	call.val, call.err = build()
+	// The build runs caller-supplied pipeline code (solvers included).  A
+	// panic here must be contained: letting it escape would skip the inflight
+	// cleanup and the close below, deadlocking every coalesced waiter on a
+	// channel nobody will ever close — and then kill the worker's process.
+	// Recovered panics become ordinary build errors (not cached, like any
+	// other error), delivered to the builder and all waiters.
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				c.stats.queryPanics.Inc()
+				slog.Error("substrate build panicked",
+					"query_id", obs.QueryID(ctx), "substrate", key.kind.String(),
+					"panic", p, "stack", string(debug.Stack()))
+				call.val, call.err = nil, fmt.Errorf("%w: substrate %s build: %v", ErrQueryPanic, key.kind, p)
+			}
+		}()
+		call.val, call.err = build()
+	}()
 
 	c.mu.Lock()
 	delete(c.inflight, key)

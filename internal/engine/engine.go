@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sort"
 	"strings"
@@ -31,6 +32,7 @@ import (
 	"weak"
 
 	"bedom/internal/dist"
+	"bedom/internal/fault"
 	"bedom/internal/graph"
 	"bedom/internal/obs"
 	"bedom/internal/order"
@@ -53,6 +55,20 @@ var (
 	// applied while the name was re-registered); the caller may retry
 	// against the current registration.
 	ErrConflict = errors.New("engine: conflicting concurrent operation")
+	// ErrDegraded rejects mutations and registrations while the engine is in
+	// read-only degraded mode (entered after a persistent store failure;
+	// queries keep serving from memory).  A successful checkpoint exits the
+	// mode.
+	ErrDegraded = errors.New("engine: degraded (read-only): persistence unavailable")
+	// ErrOverloaded is returned when the admission queue is full and the
+	// queue-wait budget elapsed before a slot freed — the engine sheds the
+	// query instead of piling up goroutines.  Callers should back off and
+	// retry (domserved maps it to 503 + Retry-After).
+	ErrOverloaded = errors.New("engine: overloaded, query shed")
+	// ErrQueryPanic wraps a panic recovered from a query's pipeline (a solver
+	// or substrate build bug).  Only the panicking query fails; the stack is
+	// logged under the query's trace ID.
+	ErrQueryPanic = errors.New("engine: query panicked")
 )
 
 // Config tunes an Engine.  The zero value selects sensible defaults.
@@ -95,6 +111,26 @@ type Config struct {
 	// registry must not be shared by two live engines — the per-engine
 	// gauges would shadow each other.
 	Metrics *obs.Registry
+	// QueueWaitBudget bounds how long a query may wait for an admission-queue
+	// slot when the queue is full before it is shed with ErrOverloaded
+	// (0 = 500ms; negative = shed immediately on a full queue).  Queries
+	// already queued are unaffected — the budget gates admission only.
+	QueueWaitBudget time.Duration
+	// PersistRetries bounds WAL fsync retries on a persistent engine before
+	// the failure surfaces and the engine degrades (0 = 3; negative = none).
+	// See store.Options.SyncRetries.
+	PersistRetries int
+	// PersistRetryBackoff is the base fsync retry delay (0 = store default).
+	PersistRetryBackoff time.Duration
+	// StageHook, when non-nil, is invoked at engine pipeline stage boundaries
+	// ("query:<kind>", "substrate:order", "substrate:wreach",
+	// "substrate:cover", "solve:<strategy>").  It exists for fault injection
+	// (latency, panics — see internal/fault.Stages); production configs leave
+	// it nil and pay a single nil check per stage.
+	StageHook func(stage string)
+	// FS routes a persistent engine's store through an alternate filesystem
+	// (nil = the real one).  Tests pass a fault.Injector.  Ignored by New.
+	FS fault.FS
 }
 
 func (c Config) normalised() Config {
@@ -109,6 +145,14 @@ func (c Config) normalised() Config {
 	}
 	if c.MaxConcurrentRebuilds <= 0 {
 		c.MaxConcurrentRebuilds = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueWaitBudget == 0 {
+		c.QueueWaitBudget = 500 * time.Millisecond
+	}
+	if c.PersistRetries == 0 {
+		c.PersistRetries = 3
+	} else if c.PersistRetries < 0 {
+		c.PersistRetries = 0
 	}
 	return c
 }
@@ -205,6 +249,14 @@ type Engine struct {
 	anon    map[weak.Pointer[graph.Graph]]anonHandle
 	nextGen uint64
 
+	// Degraded mode (read-only): entered when the store persistently fails
+	// (WAL append after retries, snapshot write, checkpoint step), exited by
+	// the next successful checkpoint.  degraded is the fast-path flag; the
+	// reason is guarded by degradedMu.
+	degraded       atomic.Bool
+	degradedMu     sync.Mutex
+	degradedReason string
+
 	// Persistence (nil/zero on engines constructed with New; see Open).
 	store       *store.Store
 	ckptMu      sync.Mutex // serializes Checkpoint with Register/Remove
@@ -270,7 +322,7 @@ func New(cfg Config) *Engine {
 	e := &Engine{
 		cfg:        cfg,
 		cache:      newSubstrateCache(cfg.CacheEntries, stats),
-		exec:       newExecutor(cfg.Workers, cfg.QueueDepth),
+		exec:       newExecutor(cfg.Workers, cfg.QueueDepth, cfg.QueueWaitBudget),
 		stats:      stats,
 		rebuildSem: make(chan struct{}, cfg.MaxConcurrentRebuilds),
 		graphs:     make(map[string]*graphEntry),
@@ -284,7 +336,86 @@ func New(cfg Config) *Engine {
 	reg.GaugeFunc("bedom_cache_entries", "Live substrate cache entries.", func() float64 { return float64(e.cache.len()) })
 	reg.Gauge("bedom_cache_capacity", "Substrate cache capacity (LRU bound).").Set(float64(cfg.CacheEntries))
 	reg.Gauge("bedom_max_concurrent_rebuilds", "Rebuild admission guard capacity.").Set(float64(cfg.MaxConcurrentRebuilds))
+	reg.GaugeFunc("bedom_degraded", "1 while the engine is in read-only degraded mode.", func() float64 {
+		if e.degraded.Load() {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("bedom_queue_depth", "Queries queued for a worker.", func() float64 { return float64(e.exec.queueLen()) })
+	reg.Gauge("bedom_queue_capacity", "Admission queue capacity.").Set(float64(cfg.QueueDepth))
 	return e
+}
+
+// stage invokes the configured stage hook (fault injection); a nil hook costs
+// one branch.  Panics raised by the hook propagate to the caller on purpose —
+// they exercise exactly the recovery paths production panics would take.
+func (e *Engine) stage(name string) {
+	if e.cfg.StageHook != nil {
+		e.cfg.StageHook(name)
+	}
+}
+
+// enterDegraded flips the engine into read-only degraded mode (idempotent:
+// only the first call per outage records the reason and counts a transition).
+func (e *Engine) enterDegraded(reason string) {
+	e.degradedMu.Lock()
+	defer e.degradedMu.Unlock()
+	if e.degraded.Load() {
+		return
+	}
+	e.degradedReason = reason
+	e.degraded.Store(true)
+	e.stats.degradedTransitions.Inc()
+	slog.Warn("engine entering degraded (read-only) mode", "reason", reason)
+}
+
+// clearDegraded exits degraded mode (called after a successful checkpoint
+// proved the store writable again).
+func (e *Engine) clearDegraded() {
+	e.degradedMu.Lock()
+	defer e.degradedMu.Unlock()
+	if !e.degraded.Load() {
+		return
+	}
+	e.degraded.Store(false)
+	e.degradedReason = ""
+	slog.Info("engine recovered from degraded mode")
+}
+
+// checkWritable rejects mutating operations while degraded.
+func (e *Engine) checkWritable() error {
+	if !e.degraded.Load() {
+		return nil
+	}
+	e.degradedMu.Lock()
+	reason := e.degradedReason
+	e.degradedMu.Unlock()
+	return fmt.Errorf("%w (%s)", ErrDegraded, reason)
+}
+
+// Health states reported by Health.
+const (
+	HealthOK         = "ok"
+	HealthDegraded   = "degraded"
+	HealthOverloaded = "overloaded"
+)
+
+// Health reports the engine's liveness state: "degraded" (read-only; reason
+// explains why), "overloaded" (the admission queue is full — queries are
+// about to be shed), or "ok".  Degraded wins over overloaded: it is the
+// stickier condition and the one an operator must act on.
+func (e *Engine) Health() (state, reason string) {
+	if e.degraded.Load() {
+		e.degradedMu.Lock()
+		reason = e.degradedReason
+		e.degradedMu.Unlock()
+		return HealthDegraded, reason
+	}
+	if e.exec.queueLen() >= e.cfg.QueueDepth {
+		return HealthOverloaded, "admission queue full"
+	}
+	return HealthOK, ""
 }
 
 // SetSubstrateWorkers adjusts the per-build worker bound at runtime (0 =
@@ -355,7 +486,11 @@ func (e *Engine) Register(name string, g *graph.Graph) (GraphInfo, error) {
 		e.mu.Unlock()
 		return ent.info(gen), nil
 	}
-	// Persistent path: the snapshot is written (durably, temp+rename) before
+	// Persistent path: registrations are writes — reject while degraded.
+	if err := e.checkWritable(); err != nil {
+		return GraphInfo{}, err
+	}
+	// The snapshot is written (durably, temp+rename) before
 	// the registry publishes the name, so a graph the engine acknowledged
 	// can never be missing after a crash.  ckptMu is held across generation
 	// assignment, snapshot write AND publication: racing registrations are
@@ -603,6 +738,7 @@ func (e *Engine) orderFor(ctx context.Context, g *graph.Graph, gen uint64, r int
 	_, sp := obs.Start(ctx, "substrate:order")
 	defer sp.End()
 	v, hit, err := e.getSubstrate(ctx, substrateKey{gen: gen, kind: kindOrder, a: r}, func() (any, error) {
+		e.stage("substrate:order")
 		workers := e.substrateWorkerCount()
 		return e.cache.timedBuild("order", func() any {
 			opts := order.DefaultOptions(r)
@@ -627,6 +763,7 @@ func (e *Engine) wreachFor(ctx context.Context, g *graph.Graph, gen uint64, orde
 	_, sp := obs.Start(ctx, "substrate:wreach")
 	defer sp.End()
 	v, hit, err := e.getSubstrate(ctx, substrateKey{gen: gen, kind: kindWReach, a: orderR, b: s}, func() (any, error) {
+		e.stage("substrate:wreach")
 		o, _, err := e.orderFor(admittedCtx, g, gen, orderR)
 		if err != nil {
 			return nil, err

@@ -3,18 +3,23 @@ package engine
 import (
 	"context"
 	"sync"
+	"time"
 )
 
-// executor is a fixed-size worker pool.  Queries are submitted as closures
-// and executed by the next free worker; submitters block until their task
-// finishes, their context expires, or the executor shuts down.  A task whose
-// context is already done when a worker picks it up is skipped, so queued
-// queries that timed out waiting for a slot do not burn worker time.
+// executor is a fixed-size worker pool with bounded admission.  Queries are
+// submitted as closures and executed by the next free worker; submitters
+// block until their task finishes, their context expires, or the executor
+// shuts down.  A task whose context is already done when a worker picks it up
+// is skipped, so queued queries that timed out waiting for a slot do not burn
+// worker time.  When the queue is full, a submitter waits at most waitBudget
+// for a slot and is then shed with ErrOverloaded — overload turns into fast
+// rejections instead of a growing pile of blocked goroutines.
 type executor struct {
-	tasks  chan *task
-	quit   chan struct{}
-	wg     sync.WaitGroup
-	closed sync.Once
+	tasks      chan *task
+	quit       chan struct{}
+	waitBudget time.Duration // <0 = shed immediately on a full queue
+	wg         sync.WaitGroup
+	closed     sync.Once
 }
 
 type task struct {
@@ -24,10 +29,11 @@ type task struct {
 	finished chan struct{}
 }
 
-func newExecutor(workers, queueDepth int) *executor {
+func newExecutor(workers, queueDepth int, waitBudget time.Duration) *executor {
 	x := &executor{
-		tasks: make(chan *task, queueDepth),
-		quit:  make(chan struct{}),
+		tasks:      make(chan *task, queueDepth),
+		quit:       make(chan struct{}),
+		waitBudget: waitBudget,
 	}
 	for i := 0; i < workers; i++ {
 		x.wg.Add(1)
@@ -35,6 +41,9 @@ func newExecutor(workers, queueDepth int) *executor {
 	}
 	return x
 }
+
+// queueLen returns the number of queued-but-unstarted tasks.
+func (x *executor) queueLen() int { return len(x.tasks) }
 
 func (x *executor) worker() {
 	defer x.wg.Done()
@@ -55,16 +64,33 @@ func (x *executor) worker() {
 
 // submit runs fn on a pool worker and blocks until it completes.  A non-nil
 // return means fn did not run to completion on behalf of this caller: the
-// context expired (waiting for a slot or mid-run; the worker finishes the
-// task, the result is abandoned) or the executor was closed.
+// queue stayed full past the wait budget (ErrOverloaded), the context expired
+// (waiting for a slot or mid-run; the worker finishes the task, the result is
+// abandoned), or the executor was closed.
 func (x *executor) submit(ctx context.Context, fn func()) error {
 	t := &task{ctx: ctx, fn: fn, finished: make(chan struct{})}
+	// Fast path: a free queue slot admits without arming a timer.
 	select {
 	case x.tasks <- t:
 	case <-ctx.Done():
 		return ctx.Err()
 	case <-x.quit:
 		return ErrEngineClosed
+	default:
+		if x.waitBudget < 0 {
+			return ErrOverloaded
+		}
+		timer := time.NewTimer(x.waitBudget)
+		defer timer.Stop()
+		select {
+		case x.tasks <- t:
+		case <-timer.C:
+			return ErrOverloaded
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-x.quit:
+			return ErrEngineClosed
+		}
 	}
 	select {
 	case <-t.finished:

@@ -43,6 +43,11 @@ type MutationInfo struct {
 // against the immutable snapshot they resolved, and no query can hit a
 // stale substrate of the old generation against the new topology.
 func (e *Engine) Mutate(name string, delta Delta) (MutationInfo, error) {
+	// Degraded gate before any state changes: while the store is failing, the
+	// in-memory topology must not drift ahead of what can ever be persisted.
+	if err := e.checkWritable(); err != nil {
+		return MutationInfo{}, err
+	}
 	e.mu.Lock()
 	ent, ok := e.graphs[name]
 	e.mu.Unlock()
@@ -109,6 +114,11 @@ func (e *Engine) Mutate(name string, delta Delta) (MutationInfo, error) {
 		e.stats.walAppendSeconds.ObserveSince(walStart)
 		if err != nil {
 			e.stats.persistErrors.Inc()
+			// The append already survived the store's bounded fsync retries,
+			// so this is a persistent failure: flip read-only.  Queries keep
+			// serving; the background checkpointer (or an explicit
+			// Checkpoint) exits the mode once the store recovers.
+			e.enterDegraded(fmt.Sprintf("WAL append failed: %v", err))
 			teeErr = fmt.Errorf("engine: delta applied but not persisted: %w", err)
 		} else {
 			e.stats.walAppends.Inc()

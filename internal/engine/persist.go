@@ -25,7 +25,12 @@ var ErrNoStore = errors.New("engine: no data directory configured")
 // the WAL into fresh snapshots (see Checkpoint).  Close seals the WAL and
 // releases the data directory.
 func Open(dataDir string, cfg Config) (*Engine, error) {
-	st, rec, err := store.Open(dataDir, store.Options{})
+	norm := cfg.normalised()
+	st, rec, err := store.Open(dataDir, store.Options{
+		FS:               cfg.FS,
+		SyncRetries:      norm.PersistRetries,
+		SyncRetryBackoff: norm.PersistRetryBackoff,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +122,10 @@ func (e *Engine) persistRegistration(name string, gen uint64, dyn *graph.Dynamic
 	e.stats.snapshotWriteSeconds.ObserveSince(start)
 	if err != nil {
 		e.stats.persistErrors.Inc()
+		// Nothing was published (temp+rename never touched the final name),
+		// but the store just proved unwritable — degrade so mutations of
+		// other graphs stop being acknowledged against a failing disk.
+		e.enterDegraded(fmt.Sprintf("snapshot write for %q failed: %v", name, err))
 		return 0, 0, fmt.Errorf("engine: persisting graph %q: %w", name, err)
 	}
 	e.stats.snapshotWrites.Inc()
@@ -156,6 +165,7 @@ func (e *Engine) Checkpoint() (CheckpointInfo, error) {
 	obsolete, err := e.store.RotateWAL()
 	if err != nil {
 		e.stats.persistErrors.Inc()
+		e.enterDegraded(fmt.Sprintf("checkpoint rotate failed: %v", err))
 		return CheckpointInfo{}, fmt.Errorf("engine: checkpoint rotate: %w", err)
 	}
 	e.mu.Lock()
@@ -190,6 +200,7 @@ func (e *Engine) Checkpoint() (CheckpointInfo, error) {
 		e.stats.snapshotWriteSeconds.ObserveSince(snapStart)
 		if err != nil {
 			e.stats.persistErrors.Inc()
+			e.enterDegraded(fmt.Sprintf("checkpoint snapshot %q failed: %v", ent.name, err))
 			return info, fmt.Errorf("engine: checkpoint snapshot %q: %w", ent.name, err)
 		}
 		e.stats.snapshotWrites.Inc()
@@ -197,6 +208,7 @@ func (e *Engine) Checkpoint() (CheckpointInfo, error) {
 	}
 	if err := e.store.RemoveSegments(obsolete); err != nil {
 		e.stats.persistErrors.Inc()
+		e.enterDegraded(fmt.Sprintf("checkpoint cleanup failed: %v", err))
 		return info, fmt.Errorf("engine: checkpoint cleanup: %w", err)
 	}
 	info.SegmentsRemoved = len(obsolete)
@@ -205,6 +217,10 @@ func (e *Engine) Checkpoint() (CheckpointInfo, error) {
 	e.ckptRan.Store(true)
 	e.stats.checkpoints.Inc()
 	e.stats.checkpointSeconds.ObserveSince(start)
+	// A full cycle just rotated the WAL, rewrote every snapshot and fsynced
+	// the directory — the strongest writable-again proof the engine has.
+	// Exit degraded mode (a no-op when not degraded).
+	e.clearDegraded()
 	return info, nil
 }
 
@@ -222,7 +238,10 @@ func (e *Engine) startCheckpointer(interval time.Duration) {
 			case <-e.ckptStop:
 				return
 			case <-t.C:
-				if e.ckptRan.Load() && e.store.LastLSN() == e.lastCkptLSN.Load() {
+				// While degraded, force a cycle even though the WAL cannot
+				// have advanced (mutations are rejected): a successful
+				// checkpoint is the automatic recovery path.
+				if !e.degraded.Load() && e.ckptRan.Load() && e.store.LastLSN() == e.lastCkptLSN.Load() {
 					continue // nothing new to fold
 				}
 				if _, err := e.Checkpoint(); err != nil {

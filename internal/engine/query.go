@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -196,19 +198,46 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	var qerr error
 	err = e.exec.submit(ctx, func() {
 		start := time.Now()
+		// Second recovery layer (the first lives inside the substrate cache's
+		// single-flight build): pipeline stages that run outside a cached
+		// build — distributed kinds, response assembly — panic straight
+		// through to the worker goroutine, which must never die with the
+		// process.  The panic fails only this query.
+		defer func() {
+			if p := recover(); p != nil {
+				e.stats.queryPanics.Inc()
+				slog.Error("query panicked",
+					"query_id", obs.QueryID(ctx), "kind", string(req.Kind),
+					"panic", p, "stack", string(debug.Stack()))
+				resp, qerr = nil, fmt.Errorf("%w: kind %s: %v", ErrQueryPanic, req.Kind, p)
+			}
+			elapsed := time.Since(start)
+			latency.ObserveDuration(elapsed)
+			if resp != nil {
+				resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+			}
+		}()
 		resp, qerr = e.run(ctx, req, g, gen)
-		elapsed := time.Since(start)
-		latency.ObserveDuration(elapsed)
-		if resp != nil {
-			resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+		if qerr == nil && ctx.Err() != nil {
+			// The pipeline finished, but only after the caller's deadline
+			// expired mid-run (substrate builds are not interruptible — the
+			// result stays cached for the next query).  The deadline is the
+			// contract: report it rather than hand back a late response.
+			resp, qerr = nil, ctx.Err()
 		}
 	})
 	if err == nil {
 		err = qerr
 	}
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			// Counts deadlines wherever they expired: at admission, queued, or
+			// mid-run inside a substrate build (the stages observe ctx at every
+			// boundary and coalesced waiters stop waiting on expiry).
 			e.stats.timeouts.Inc()
+		case errors.Is(err, ErrOverloaded):
+			e.stats.shed.Inc()
 		}
 		e.stats.errors.Inc()
 		return nil, err
@@ -261,6 +290,7 @@ func (e *Engine) validate(req Request) error {
 func (e *Engine) run(ctx context.Context, req Request, g *graph.Graph, gen uint64) (*Response, error) {
 	_, sp := obs.Start(ctx, "query:"+string(req.Kind))
 	defer sp.End()
+	e.stage("query:" + string(req.Kind))
 	resp := &Response{Graph: req.Graph, Kind: req.Kind, R: req.R}
 	switch req.Kind {
 	case KindDominatingSet, KindGreedy:
@@ -370,6 +400,7 @@ func (e *Engine) coverFor(ctx context.Context, g *graph.Graph, gen uint64, r int
 	_, sp := obs.Start(ctx, "substrate:cover")
 	defer sp.End()
 	v, hit, err := e.getSubstrate(ctx, substrateKey{gen: gen, kind: kindCover, a: r}, func() (any, error) {
+		e.stage("substrate:cover")
 		// admittedCtx: see wreachFor — a shared build must not inherit one
 		// requester's deadline, and nested fetches run on the parent build's
 		// admission slot.  The cover inverts the cached weak-reachability

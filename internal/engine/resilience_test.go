@@ -1,0 +1,302 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bedom/internal/fault"
+	"bedom/internal/gen"
+)
+
+// TestDegradedModeEntryAndExit pins the degraded-mode state machine: a dead
+// disk (sticky WAL fsync failure past the retry budget) fails the mutation
+// and flips the engine read-only — further mutations and registrations get
+// ErrDegraded, queries keep serving — and a successful checkpoint after the
+// disk heals exits the mode.
+func TestDegradedModeEntryAndExit(t *testing.T) {
+	in := fault.NewInjector(nil)
+	e := openPersistent(t, t.TempDir(), Config{
+		FS: in, PersistRetries: 1, PersistRetryBackoff: time.Millisecond,
+	})
+	if _, err := e.Register("g", gen.Grid(8, 8)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the disk: every WAL fsync fails from now on.
+	in.Add(fault.Fault{Op: fault.OpSync, Path: "wal-", Err: fault.ErrNoSpace, Sticky: true})
+	_, err := e.Mutate("g", Delta{Add: [][2]int{{0, 9}}})
+	if err == nil {
+		t.Fatal("Mutate succeeded on a dead disk")
+	}
+	if errors.Is(err, ErrDegraded) {
+		t.Fatalf("first failing mutation should surface the persist error, not the gate: %v", err)
+	}
+	if !e.degraded.Load() {
+		t.Fatal("engine not degraded after persistent WAL failure")
+	}
+	if state, reason := e.Health(); state != HealthDegraded || reason == "" {
+		t.Fatalf("Health = (%q, %q), want degraded with a reason", state, reason)
+	}
+
+	// Writes are rejected with ErrDegraded; reads keep serving from memory.
+	if _, err := e.Mutate("g", Delta{Add: [][2]int{{0, 18}}}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Mutate while degraded: %v, want ErrDegraded", err)
+	}
+	if _, err := e.Register("h", gen.Path(4)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Register while degraded: %v, want ErrDegraded", err)
+	}
+	resp, err := e.Do(context.Background(), Request{Graph: "g", Kind: KindDominatingSet, R: 1})
+	if err != nil || len(resp.Set) == 0 {
+		t.Fatalf("query while degraded: %v (resp %+v)", err, resp)
+	}
+	st := e.Stats()
+	if !st.Degraded || st.DegradedReason == "" || st.DegradedTransitions != 1 {
+		t.Fatalf("Stats degraded surface: degraded=%v reason=%q transitions=%d",
+			st.Degraded, st.DegradedReason, st.DegradedTransitions)
+	}
+
+	// A checkpoint against the still-dead disk fails and stays degraded.
+	if _, err := e.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint succeeded on a dead disk")
+	}
+	if !e.degraded.Load() {
+		t.Fatal("engine left degraded mode without a successful checkpoint")
+	}
+
+	// Disk recovers: the next checkpoint exits degraded mode and mutations
+	// are acknowledged again.
+	in.Heal()
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after heal: %v", err)
+	}
+	if e.degraded.Load() {
+		t.Fatal("engine still degraded after successful checkpoint")
+	}
+	if state, _ := e.Health(); state != HealthOK {
+		t.Fatalf("Health after recovery = %q, want ok", state)
+	}
+	if _, err := e.Mutate("g", Delta{Add: [][2]int{{0, 18}}}); err != nil {
+		t.Fatalf("Mutate after recovery: %v", err)
+	}
+	if got := e.Stats().DegradedTransitions; got != 1 {
+		t.Fatalf("DegradedTransitions = %d, want 1 (entry counted once per outage)", got)
+	}
+}
+
+// TestCheckpointerAutoRecovers: the background checkpointer must force a
+// cycle while degraded (the WAL cannot advance — mutations are rejected — so
+// the advanced-since-last-cycle skip would otherwise wedge the engine in
+// degraded mode forever).
+func TestCheckpointerAutoRecovers(t *testing.T) {
+	in := fault.NewInjector(nil)
+	e := openPersistent(t, t.TempDir(), Config{
+		FS: in, PersistRetries: -1, CheckpointInterval: 5 * time.Millisecond,
+	})
+	if _, err := e.Register("g", gen.Grid(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	in.Add(fault.Fault{Op: fault.OpSync, Path: "wal-", Err: fault.ErrIO, Sticky: true})
+	if _, err := e.Mutate("g", Delta{Add: [][2]int{{0, 5}}}); err == nil {
+		t.Fatal("Mutate succeeded on a dead disk")
+	}
+	if !e.degraded.Load() {
+		t.Fatal("not degraded")
+	}
+	in.Heal()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.degraded.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("checkpointer did not auto-recover the engine within 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := e.Mutate("g", Delta{Add: [][2]int{{0, 10}}}); err != nil {
+		t.Fatalf("Mutate after auto-recovery: %v", err)
+	}
+}
+
+// TestTransientFsyncRetriesDoNotDegrade: a one-shot fsync hiccup inside the
+// retry budget is invisible to the caller and does not flip degraded mode.
+func TestTransientFsyncRetriesDoNotDegrade(t *testing.T) {
+	in := fault.NewInjector(nil, fault.Fault{Op: fault.OpSync, Path: "wal-", Err: fault.ErrIO})
+	e := openPersistent(t, t.TempDir(), Config{
+		FS: in, PersistRetries: 3, PersistRetryBackoff: time.Millisecond,
+	})
+	if _, err := e.Register("g", gen.Grid(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Mutate("g", Delta{Add: [][2]int{{0, 5}}}); err != nil {
+		t.Fatalf("Mutate with transient fsync fault: %v", err)
+	}
+	if e.degraded.Load() {
+		t.Fatal("transient fault degraded the engine")
+	}
+	st := e.Stats()
+	if st.Persist == nil || st.Persist.WALSyncRetries == 0 {
+		t.Fatalf("fsync retry not surfaced in stats: %+v", st.Persist)
+	}
+}
+
+// TestSolverPanicFailsOnlyItsQuery: a panic injected into a substrate build
+// must fail each affected query with ErrQueryPanic — whether the query ran
+// the build itself or coalesced onto it (no deadlock on the inflight
+// channel) — and leave the engine fully serviceable once the fault clears.
+func TestSolverPanicFailsOnlyItsQuery(t *testing.T) {
+	// Armed flag rather than a one-shot schedule: concurrent queries may
+	// serialize instead of coalescing (a failed build is not cached), and
+	// then a one-shot fault would let later builds succeed.  While armed,
+	// every build attempt panics, so all queries deterministically fail.
+	var armed atomic.Bool
+	armed.Store(true)
+	hook := func(stage string) {
+		if armed.Load() && strings.HasPrefix(stage, "solve:") {
+			panic("solver bug")
+		}
+	}
+	e := testEngine(t, Config{StageHook: hook, Workers: 4})
+	if _, err := e.Register("g", gen.Grid(8, 8)); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 4
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.Do(context.Background(), Request{Graph: "g", Kind: KindDominatingSet, R: 1})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrQueryPanic) {
+			t.Fatalf("query %d: %v, want ErrQueryPanic", i, err)
+		}
+	}
+	if got := e.Stats().QueryPanics; got == 0 {
+		t.Fatal("QueryPanics = 0 after injected panics")
+	}
+
+	// Fault cleared: the engine (and its worker pool) must serve the very
+	// same query now.
+	armed.Store(false)
+	resp, err := e.Do(context.Background(), Request{Graph: "g", Kind: KindDominatingSet, R: 1})
+	if err != nil || len(resp.Set) == 0 {
+		t.Fatalf("query after panic: %v", err)
+	}
+}
+
+// TestQueryStagePanicRecovered: a panic outside any cached build (the query
+// dispatch stage itself) is caught by the worker-closure recovery layer.
+func TestQueryStagePanicRecovered(t *testing.T) {
+	stages := fault.NewStages(fault.StageFault{Stage: "query:domset", Panic: "dispatch bug"})
+	e := testEngine(t, Config{StageHook: stages.Hook()})
+	if _, err := e.Register("g", gen.Grid(6, 6)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Do(context.Background(), Request{Graph: "g", Kind: KindDominatingSet, R: 1})
+	if !errors.Is(err, ErrQueryPanic) {
+		t.Fatalf("err = %v, want ErrQueryPanic", err)
+	}
+	if got := stages.Fired(); got != 1 {
+		t.Fatalf("stage faults fired = %d, want 1", got)
+	}
+	// The worker survived: the pool still serves queries.
+	if _, err := e.Do(context.Background(), Request{Graph: "g", Kind: KindDominatingSet, R: 1}); err != nil {
+		t.Fatalf("query after dispatch panic: %v", err)
+	}
+}
+
+// TestOverloadShedding pins admission control: with the one worker wedged and
+// the one-slot queue occupied, the next query is shed immediately (negative
+// wait budget) with ErrOverloaded, the shed counter increments, and Health
+// reports overloaded while the queue is full.
+func TestOverloadShedding(t *testing.T) {
+	entered := make(chan struct{}, 4) // signals a query reached the worker
+	block := make(chan struct{})      // holds the worker until released
+	hook := func(stage string) {
+		if strings.HasPrefix(stage, "query:") {
+			entered <- struct{}{}
+			<-block
+		}
+	}
+	e := testEngine(t, Config{Workers: 1, QueueDepth: 1, QueueWaitBudget: -1, StageHook: hook})
+	if _, err := e.Register("g", gen.Grid(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	req := Request{Graph: "g", Kind: KindDominatingSet, R: 1}
+	results := make(chan error, 2)
+	// Query A occupies the worker (blocked inside the stage hook).
+	go func() { _, err := e.Do(context.Background(), req); results <- err }()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("query A never reached the worker")
+	}
+	// Query B fills the one queue slot (the worker is wedged on A).
+	go func() { _, err := e.Do(context.Background(), req); results <- err }()
+	waitFor(t, func() bool { return e.exec.queueLen() == 1 })
+
+	if state, _ := e.Health(); state != HealthOverloaded {
+		t.Fatalf("Health with a full queue = %q, want overloaded", state)
+	}
+	// Query C finds the queue full and is shed at once.
+	_, err := e.Do(context.Background(), req)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if got := e.Stats().QueriesShed; got != 1 {
+		t.Fatalf("QueriesShed = %d, want 1", got)
+	}
+
+	close(block)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("queued query %d failed after release: %v", i, err)
+		}
+	}
+	if state, _ := e.Health(); state != HealthOK {
+		t.Fatalf("Health after drain = %q, want ok", state)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTimeoutDuringSubstrateBuildCounted pins the timeout-counter fix: a
+// deadline expiring while the query is INSIDE a substrate build (not at
+// admission) must surface context.DeadlineExceeded and increment
+// bedom_query_timeouts_total.
+func TestTimeoutDuringSubstrateBuildCounted(t *testing.T) {
+	stages := fault.NewStages(fault.StageFault{Stage: "substrate:order", Delay: 300 * time.Millisecond, Sticky: true})
+	e := testEngine(t, Config{StageHook: stages.Hook()})
+	if _, err := e.Register("g", gen.Grid(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Do(context.Background(), Request{Graph: "g", Kind: KindDominatingSet, R: 1, Timeout: 30 * time.Millisecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	st := e.Stats()
+	if st.Timeouts != 1 {
+		t.Fatalf("Timeouts = %d, want 1 (deadline expired mid-build)", st.Timeouts)
+	}
+	if st.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1", st.Errors)
+	}
+}

@@ -70,6 +70,7 @@ func (e *Engine) domsetFor(ctx context.Context, g *graph.Graph, gen uint64, r in
 	key := substrateKey{gen: gen, kind: kindDomset, a: r, solver: s.Name()}
 	var warm bool
 	v, hit, err := e.getSubstrate(ctx, key, func() (any, error) {
+		e.stage("solve:" + s.Name())
 		sub := &engineSubstrate{e: e, g: g, gen: gen, allHit: true}
 		start := time.Now()
 		res, err := s.Solve(admittedCtx, g, r, sub)

@@ -24,6 +24,13 @@ type statsCollector struct {
 	querySeconds *obs.HistogramVec
 	errors       *obs.Counter
 	timeouts     *obs.Counter
+	// shed counts queries rejected with ErrOverloaded (admission queue full
+	// past the wait budget); queryPanics counts panics recovered from query
+	// pipelines (each failed only its own query).
+	shed        *obs.Counter
+	queryPanics *obs.Counter
+	// degradedTransitions counts entries into read-only degraded mode.
+	degradedTransitions *obs.Counter
 
 	cacheHits      *obs.Counter
 	cacheMisses    *obs.Counter
@@ -56,6 +63,10 @@ func newStatsCollector(reg *obs.Registry) *statsCollector {
 		querySeconds: reg.HistogramVec("bedom_query_seconds", "Query execution latency (excluding queueing), by kind and solver.", nil, "kind", "solver"),
 		errors:       reg.Counter("bedom_query_errors_total", "Queries that failed (validation, unknown graph, execution error or timeout)."),
 		timeouts:     reg.Counter("bedom_query_timeouts_total", "Queries that exceeded their deadline."),
+		shed:         reg.Counter("bedom_queries_shed_total", "Queries shed with ErrOverloaded (admission queue full past the wait budget)."),
+		queryPanics:  reg.Counter("bedom_query_panics_total", "Panics recovered from query pipelines (each failed only its own query)."),
+
+		degradedTransitions: reg.Counter("bedom_degraded_transitions_total", "Entries into read-only degraded mode."),
 
 		cacheHits:      reg.Counter("bedom_cache_hits_total", "Substrate cache hits."),
 		cacheMisses:    reg.Counter("bedom_cache_misses_total", "Substrate cache misses (builds started)."),
@@ -133,6 +144,22 @@ type Stats struct {
 	Queries  uint64 `json:"queries"`
 	Errors   uint64 `json:"errors"`
 	Timeouts uint64 `json:"timeouts"`
+	// QueriesShed counts queries rejected with ErrOverloaded; QueryPanics
+	// counts panics recovered from query pipelines.
+	QueriesShed uint64 `json:"queries_shed"`
+	QueryPanics uint64 `json:"query_panics"`
+	// QueueDepth / QueueCapacity describe the admission queue at snapshot
+	// time.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+
+	// Degraded reports read-only degraded mode: true while persistence is
+	// failing (mutations/registrations rejected with ErrDegraded, queries
+	// serving from memory).  DegradedTransitions counts entries into the mode
+	// over the engine's lifetime.
+	Degraded            bool   `json:"degraded"`
+	DegradedReason      string `json:"degraded_reason,omitempty"`
+	DegradedTransitions uint64 `json:"degraded_transitions"`
 	// QueryMSTotal is the total wall-clock time spent executing queries
 	// (excluding queueing).
 	QueryMSTotal float64     `json:"query_ms_total"`
@@ -212,11 +239,22 @@ func (e *Engine) Stats() Stats {
 		BuildMSTotal:          float64(e.cache.buildNanos.Load()) / 1e6,
 		Errors:                e.stats.errors.Value(),
 		Timeouts:              e.stats.timeouts.Value(),
+		QueriesShed:           e.stats.shed.Value(),
+		QueryPanics:           e.stats.queryPanics.Value(),
+		QueueDepth:            e.exec.queueLen(),
+		QueueCapacity:         e.cfg.QueueDepth,
+		DegradedTransitions:   e.stats.degradedTransitions.Value(),
 		QueryMSTotal:          e.stats.querySeconds.TotalSum() * 1e3,
 		Mutations:             e.stats.mutations.Value(),
 		Compactions:           e.stats.compactions.Value(),
 		RebuildWaits:          e.stats.rebuildWaits.Value(),
 		MaxConcurrentRebuilds: e.cfg.MaxConcurrentRebuilds,
+	}
+	if e.degraded.Load() {
+		st.Degraded = true
+		e.degradedMu.Lock()
+		st.DegradedReason = e.degradedReason
+		e.degradedMu.Unlock()
 	}
 	// Derive the query totals and the per-kind / per-solver breakdowns from
 	// one snapshot of the (kind, solver) counter family.

@@ -1,0 +1,71 @@
+// Package fault provides deterministic fault injection for the persistence
+// and query layers.
+//
+// The package has two halves:
+//
+//   - FS is the filesystem seam: internal/store routes every file operation
+//     (open, write, fsync, rename, remove, truncate, stat, readdir, mkdir)
+//     through an FS.  Production code passes nothing and gets the os-backed
+//     implementation; tests pass an *Injector, which wraps an inner FS and
+//     fails scheduled operations with ENOSPC, generic I/O errors, or torn
+//     (short) writes on exactly the Nth matching call.
+//
+//   - Stages injects latency or panics at named engine pipeline stages
+//     (substrate builds, solver runs) via engine.Config.StageHook.
+//
+// All schedules are deterministic: a fault fires on the Nth matching call,
+// where N is either given explicitly or drawn from a seeded PRNG (see
+// Schedule), so a failing chaos run is reproducible from its seed alone.
+package fault
+
+import (
+	"io"
+	iofs "io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the store needs.  Sync is what makes writes
+// durable — the injector targets it separately from Write because fsync
+// failures (ENOSPC surfacing at sync time, dying disks) are the classic
+// durability hazard.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+}
+
+// FS is the filesystem dependency of internal/store.  Implementations must
+// be safe for concurrent use.
+type FS interface {
+	// OpenFile opens name with the given flags (os.O_CREATE, os.O_APPEND, ...).
+	OpenFile(name string, flag int, perm iofs.FileMode) (File, error)
+	// Open opens name read-only (directories included, for directory fsync).
+	Open(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	Stat(name string) (iofs.FileInfo, error)
+	ReadDir(name string) ([]iofs.DirEntry, error)
+	MkdirAll(path string, perm iofs.FileMode) error
+}
+
+// osFS is the production FS: a zero-cost passthrough to package os.
+type osFS struct{}
+
+// OS returns the real, os-backed filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Open(name string) (File, error)               { return os.Open(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) Stat(name string) (iofs.FileInfo, error)      { return os.Stat(name) }
+func (osFS) ReadDir(name string) ([]iofs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm iofs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}

@@ -1,0 +1,214 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	fs := OS()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a", "f.txt")
+	if err := fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	moved := filepath.Join(dir, "a", "g.txt")
+	if err := fs.Rename(path, moved); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fs.Stat(moved)
+	if err != nil || st.Size() != 5 {
+		t.Fatalf("Stat: %v %v", st, err)
+	}
+	ents, err := fs.ReadDir(filepath.Join(dir, "a"))
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir: %v %v", ents, err)
+	}
+	if err := fs.Truncate(moved, 2); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, _ := r.Read(buf)
+	if string(buf[:n]) != "he" {
+		t.Fatalf("read %q after truncate", buf[:n])
+	}
+	r.Close()
+	if err := fs.Remove(moved); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectNthWrite pins the core injector contract: the Nth matching write
+// fails with exactly the scheduled error, calls before and after succeed
+// (non-sticky), and errors.Is sees the underlying errno.
+func TestInjectNthWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil, Fault{Op: OpWrite, Path: ".log", AfterN: 2, Err: ErrNoSpace})
+	f, err := in.OpenFile(filepath.Join(dir, "x.log"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 2: want ENOSPC, got %v", err)
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("write 3 (fault not sticky): %v", err)
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", in.Fired())
+	}
+	// A file outside the path filter is never touched.
+	g, err := in.OpenFile(filepath.Join(dir, "y.dat"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectSticky(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil, Fault{Op: OpSync, AfterN: 2, Err: ErrIO, Sticky: true})
+	f, err := in.OpenFile(filepath.Join(dir, "w"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	for i := 2; i <= 4; i++ {
+		if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("sync %d: want EIO, got %v", i, err)
+		}
+	}
+	in.Heal()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after Heal: %v", err)
+	}
+}
+
+// TestTornWrite asserts a torn write leaves exactly half the buffer behind —
+// the short-write shape temp+rename protocols and WAL replay must survive.
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.bin")
+	in := NewInjector(nil, Fault{Op: OpWrite, Torn: true, Err: ErrNoSpace})
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, syscall.ENOSPC) || n != 4 {
+		t.Fatalf("torn write: n=%d err=%v, want 4/ENOSPC", n, err)
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "abcd" {
+		t.Fatalf("on-disk bytes %q (%v), want \"abcd\"", got, err)
+	}
+}
+
+func TestInjectOpenRenameRemove(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil,
+		Fault{Op: OpOpen, Path: "denied"},
+		Fault{Op: OpRename, Path: "final"},
+		Fault{Op: OpRemove, Path: "keep"},
+	)
+	if _, err := in.OpenFile(filepath.Join(dir, "denied"), os.O_CREATE, 0o644); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("open: %v", err)
+	}
+	src := filepath.Join(dir, "src")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Renames match on the destination path.
+	if err := in.Rename(src, filepath.Join(dir, "final")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("rename: %v", err)
+	}
+	if err := in.Rename(src, filepath.Join(dir, "elsewhere")); err != nil {
+		t.Fatalf("rename (unmatched): %v", err)
+	}
+	if err := in.Remove(filepath.Join(dir, "keep")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("remove: %v", err)
+	}
+}
+
+// TestScheduleDeterminism: the same seed yields the same schedule, distinct
+// seeds (overwhelmingly) differ.
+func TestScheduleDeterminism(t *testing.T) {
+	opts := ScheduleOptions{StickyProb: 0.3, TornProb: 0.5, MaxAfter: 10}
+	a := Schedule(42, 16, opts)
+	b := Schedule(42, 16, opts)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := Schedule(43, 16, opts)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for i, f := range a {
+		if f.AfterN < 1 || f.AfterN > 10 {
+			t.Fatalf("fault %d: AfterN %d out of [1,10]", i, f.AfterN)
+		}
+		if f.Err == nil {
+			t.Fatalf("fault %d: nil error", i)
+		}
+		if f.Torn && f.Op != OpWrite {
+			t.Fatalf("fault %d: torn non-write %v", i, f.Op)
+		}
+	}
+}
+
+func TestStages(t *testing.T) {
+	s := NewStages(
+		StageFault{Stage: "order", AfterN: 2, Panic: "boom"},
+		StageFault{Stage: "solve", Delay: 5 * time.Millisecond, Sticky: true},
+	)
+	s.Fire("substrate:order-ish") // 1st order firing: nothing
+	start := time.Now()
+	s.Fire("solve:paper")
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("latency fault did not sleep")
+	}
+	func() {
+		defer func() {
+			if p := recover(); p != "boom" {
+				t.Fatalf("recovered %v, want \"boom\"", p)
+			}
+		}()
+		s.Fire("substrate:order-ish") // 2nd order firing panics
+	}()
+	if s.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", s.Fired())
+	}
+}

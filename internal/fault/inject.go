@@ -1,0 +1,335 @@
+package fault
+
+import (
+	"fmt"
+	iofs "io/fs"
+	"math/rand"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op identifies one class of filesystem operation the injector can fail.
+type Op uint8
+
+// Operation classes.  OpOpen covers both Open and OpenFile; OpWrite and
+// OpSync are per-file operations matched by the path the file was opened
+// under.
+const (
+	OpOpen Op = iota
+	OpRead
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpTruncate
+	OpStat
+	OpReadDir
+	OpMkdir
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	case OpStat:
+		return "stat"
+	case OpReadDir:
+		return "readdir"
+	case OpMkdir:
+		return "mkdir"
+	default:
+		return fmt.Sprintf("op(%d)", o)
+	}
+}
+
+// Injected errors.  Both wrap the matching errno so code that switches on
+// errors.Is(err, syscall.ENOSPC) sees exactly what a real full disk raises.
+var (
+	// ErrNoSpace is an injected disk-full failure.
+	ErrNoSpace = fmt.Errorf("fault: injected disk full: %w", syscall.ENOSPC)
+	// ErrIO is an injected generic I/O failure.
+	ErrIO = fmt.Errorf("fault: injected I/O error: %w", syscall.EIO)
+)
+
+// Fault schedules one failure: the Nth call of the given operation class
+// whose path contains Path fails with Err.  The zero AfterN means the first
+// matching call.  A Sticky fault keeps failing every matching call from the
+// Nth on (a dead disk); a non-sticky fault fires once (a transient error).
+type Fault struct {
+	Op   Op
+	Path string // substring the operation's path must contain ("" = any)
+	// AfterN fires the fault on the Nth matching call, 1-based (0 = 1).
+	AfterN uint64
+	// Err is the returned error (nil = ErrIO).
+	Err error
+	// Torn makes an OpWrite fault a torn write: half the buffer is written
+	// through to the inner FS before the error returns — what a crash (or a
+	// full disk) mid-write leaves on a real file.
+	Torn bool
+	// Sticky keeps the fault firing on every matching call after the Nth.
+	Sticky bool
+}
+
+type faultState struct {
+	Fault
+	seen uint64 // matching calls observed so far
+}
+
+// fires reports whether this call (the seen-th matching one) fails.
+func (f *faultState) fires() bool {
+	f.seen++
+	after := f.AfterN
+	if after == 0 {
+		after = 1
+	}
+	if f.Sticky {
+		return f.seen >= after
+	}
+	return f.seen == after
+}
+
+func (f *faultState) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrIO
+}
+
+// Injector is an FS that fails scheduled operations.  It is safe for
+// concurrent use; rule matching and counting are serialized, so "the Nth
+// write to wal-*" is well defined even under concurrent appenders.
+type Injector struct {
+	inner FS
+
+	mu     sync.Mutex
+	faults []*faultState
+	fired  uint64
+}
+
+// NewInjector wraps inner (nil = the real filesystem) with the given fault
+// schedule.
+func NewInjector(inner FS, faults ...Fault) *Injector {
+	if inner == nil {
+		inner = OS()
+	}
+	in := &Injector{inner: inner}
+	for _, f := range faults {
+		in.faults = append(in.faults, &faultState{Fault: f})
+	}
+	return in
+}
+
+// Add appends faults to the schedule at runtime.
+func (in *Injector) Add(faults ...Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, f := range faults {
+		in.faults = append(in.faults, &faultState{Fault: f})
+	}
+}
+
+// Heal drops every scheduled fault — the disk "recovers".  Files already
+// open keep routing through the injector but nothing fails anymore.
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = nil
+}
+
+// Fired returns how many faults have fired so far.
+func (in *Injector) Fired() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// check counts one operation against the schedule and returns the injected
+// error (nil if no fault fires).  torn reports whether a firing OpWrite
+// fault asks for a torn (partial) write.
+func (in *Injector) check(op Op, path string) (err error, torn bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, f := range in.faults {
+		if f.Op != op || !strings.Contains(path, f.Path) {
+			continue
+		}
+		if f.fires() && err == nil {
+			in.fired++
+			err, torn = f.err(), f.Torn
+		}
+	}
+	return err, torn
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	if err, _ := in.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, path: name, in: in}, nil
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if err, _ := in.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, path: name, in: in}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	// Renames are matched on the destination: that is the name whose content
+	// a temp+rename protocol is publishing.
+	if err, _ := in.check(OpRename, newpath); err != nil {
+		return err
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err, _ := in.check(OpRemove, name); err != nil {
+		return err
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) Truncate(name string, size int64) error {
+	if err, _ := in.check(OpTruncate, name); err != nil {
+		return err
+	}
+	return in.inner.Truncate(name, size)
+}
+
+func (in *Injector) Stat(name string) (iofs.FileInfo, error) {
+	if err, _ := in.check(OpStat, name); err != nil {
+		return nil, err
+	}
+	return in.inner.Stat(name)
+}
+
+func (in *Injector) ReadDir(name string) ([]iofs.DirEntry, error) {
+	if err, _ := in.check(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return in.inner.ReadDir(name)
+}
+
+func (in *Injector) MkdirAll(path string, perm iofs.FileMode) error {
+	if err, _ := in.check(OpMkdir, path); err != nil {
+		return err
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+// injFile routes per-file operations (read, write, sync) back through the
+// injector's schedule under the path the file was opened as.
+type injFile struct {
+	f    File
+	path string
+	in   *Injector
+}
+
+func (f *injFile) Read(p []byte) (int, error) {
+	if err, _ := f.in.check(OpRead, f.path); err != nil {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	err, torn := f.in.check(OpWrite, f.path)
+	if err == nil {
+		return f.f.Write(p)
+	}
+	if !torn || len(p) == 0 {
+		return 0, err
+	}
+	// Torn write: half the buffer reaches the file, then the error surfaces —
+	// the on-disk state a crash or mid-write ENOSPC leaves behind.
+	n, werr := f.f.Write(p[:len(p)/2])
+	if werr != nil {
+		return n, werr
+	}
+	return n, err
+}
+
+func (f *injFile) Seek(offset int64, whence int) (int64, error) { return f.f.Seek(offset, whence) }
+func (f *injFile) Close() error                                 { return f.f.Close() }
+
+func (f *injFile) Sync() error {
+	if err, _ := f.in.check(OpSync, f.path); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+// ScheduleOptions tunes Schedule.
+type ScheduleOptions struct {
+	// Ops are the eligible operation classes (nil = write, sync, rename —
+	// the durability-critical ones).
+	Ops []Op
+	// Path is a substring every scheduled fault matches ("" = any file).
+	Path string
+	// MaxAfter bounds each fault's AfterN: drawn uniformly from [1, MaxAfter]
+	// (0 = 20).
+	MaxAfter int
+	// StickyProb is the probability a fault is sticky (a dead disk rather
+	// than a transient hiccup).
+	StickyProb float64
+	// TornProb is the probability an OpWrite fault tears instead of failing
+	// cleanly.
+	TornProb float64
+}
+
+// Schedule derives n reproducible faults from seed.  The same (seed, n,
+// opts) always yields the same schedule, so a failing chaos run reproduces
+// from its seed alone.
+func Schedule(seed int64, n int, opts ScheduleOptions) []Fault {
+	rng := rand.New(rand.NewSource(seed))
+	ops := opts.Ops
+	if len(ops) == 0 {
+		ops = []Op{OpWrite, OpSync, OpRename}
+	}
+	maxAfter := opts.MaxAfter
+	if maxAfter <= 0 {
+		maxAfter = 20
+	}
+	out := make([]Fault, n)
+	for i := range out {
+		f := Fault{
+			Op:     ops[rng.Intn(len(ops))],
+			Path:   opts.Path,
+			AfterN: uint64(1 + rng.Intn(maxAfter)),
+			Sticky: rng.Float64() < opts.StickyProb,
+		}
+		if rng.Intn(2) == 0 {
+			f.Err = ErrNoSpace
+		} else {
+			f.Err = ErrIO
+		}
+		if f.Op == OpWrite && rng.Float64() < opts.TornProb {
+			f.Torn = true
+		}
+		out[i] = f
+	}
+	return out
+}

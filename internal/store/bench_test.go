@@ -51,7 +51,7 @@ func BenchmarkSnapshotDecode(b *testing.B) {
 // BenchmarkWALAppendNoSync isolates the framing/encoding cost of an append
 // (fsync disabled — the group-commit fsync is hardware-bound, not code-bound).
 func BenchmarkWALAppendNoSync(b *testing.B) {
-	w, err := openWAL(filepath.Join(b.TempDir(), "wal.log"), 0, true)
+	w, err := openWAL(nil, filepath.Join(b.TempDir(), "wal.log"), 0, Options{NoSync: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func BenchmarkWALAppendNoSync(b *testing.B) {
 // path's per-record cost.
 func BenchmarkWALReplay(b *testing.B) {
 	path := filepath.Join(b.TempDir(), "wal.log")
-	w, err := openWAL(path, 0, true)
+	w, err := openWAL(nil, path, 0, Options{NoSync: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func BenchmarkWALReplay(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		recs, truncated, err := readSegment(path)
+		recs, truncated, err := readSegment(nil, path)
 		if err != nil || truncated != 0 || len(recs) != records {
 			b.Fatalf("replay: %d records, %d truncated, err %v", len(recs), truncated, err)
 		}

@@ -1,0 +1,143 @@
+package store
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+
+	"bedom/internal/fault"
+	"bedom/internal/gen"
+	"bedom/internal/graph"
+)
+
+// openFaulty opens a store routed through an injector with the given fault
+// schedule.
+func openFaulty(t *testing.T, dir string, opts Options, faults ...fault.Fault) (*Store, *Recovery, *fault.Injector) {
+	t.Helper()
+	in := fault.NewInjector(nil, faults...)
+	opts.FS = in
+	s, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s, rec, in
+}
+
+// TestSnapshotENOSPCLeavesPreviousIntact: an ENOSPC mid-snapshot-write must
+// leave the previously published snapshot readable (temp+rename invariant)
+// and surface the failure in the persist stats block.
+func TestSnapshotENOSPCLeavesPreviousIntact(t *testing.T) {
+	dir := t.TempDir()
+	g1 := gen.Grid(4, 4)
+	g2 := gen.Grid(5, 5)
+
+	s, _, in := openFaulty(t, dir, Options{})
+	meta := SnapshotMeta{Name: "g", Epoch: 1, Gen: 1}
+	if err := s.SaveSnapshot(meta, g1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Schedule a disk-full on the next temp-file write: snapshot temp files
+	// are the only .tmp- writes in this store.
+	in.Add(fault.Fault{Op: fault.OpWrite, Path: tmpFilePrefix, Err: fault.ErrNoSpace, Sticky: true})
+	err := s.SaveSnapshot(SnapshotMeta{Name: "g", Epoch: 1, Gen: 2}, g2)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("SaveSnapshot under ENOSPC: %v, want ENOSPC", err)
+	}
+	if got := s.Stats().SnapshotFailures; got != 1 {
+		t.Fatalf("SnapshotFailures = %d, want 1", got)
+	}
+	in.Heal()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := openStore(t, dir)
+	defer s2.Close()
+	if len(rec.Graphs) != 1 || rec.Graphs[0].Meta != meta {
+		t.Fatalf("recovered %+v, want the pre-failure snapshot", rec.Graphs)
+	}
+	assertBitIdentical(t, g1, rec.Graphs[0].Graph)
+}
+
+// TestSnapshotTornWriteLeavesPreviousIntact: a short (torn) write into the
+// temp file must never corrupt the published snapshot — the torn bytes live
+// in a temp file that is removed on failure and skipped at recovery.
+func TestSnapshotTornWriteLeavesPreviousIntact(t *testing.T) {
+	dir := t.TempDir()
+	g1 := gen.Grid(4, 4)
+
+	s, _, in := openFaulty(t, dir, Options{})
+	meta := SnapshotMeta{Name: "g", Epoch: 1, Gen: 1}
+	if err := s.SaveSnapshot(meta, g1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the 2nd write of the next temp file (the 1st is typically the
+	// header), then fail rename too in case buffering coalesced the writes.
+	in.Add(fault.Fault{Op: fault.OpWrite, Path: tmpFilePrefix, AfterN: 2, Err: fault.ErrNoSpace, Torn: true})
+	if err := s.SaveSnapshot(SnapshotMeta{Name: "g", Epoch: 1, Gen: 2}, gen.Grid(6, 6)); err == nil {
+		t.Fatal("SaveSnapshot with torn write succeeded")
+	}
+	if got := s.Stats().SnapshotFailures; got != 1 {
+		t.Fatalf("SnapshotFailures = %d, want 1", got)
+	}
+	in.Heal()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := openStore(t, dir)
+	defer s2.Close()
+	if len(rec.Graphs) != 1 || rec.Graphs[0].Meta != meta {
+		t.Fatalf("recovered %+v, want the pre-failure snapshot", rec.Graphs)
+	}
+	assertBitIdentical(t, g1, rec.Graphs[0].Graph)
+}
+
+// TestWALFsyncRetryRecovers: a transient fsync failure inside the retry
+// budget must not surface to the appender, and the retry is counted.
+func TestWALFsyncRetryRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := openFaulty(t, dir,
+		Options{SyncRetries: 3, SyncRetryBackoff: 1},
+		fault.Fault{Op: fault.OpSync, Path: walPrefix, Err: fault.ErrIO}, // one-shot: first fsync fails
+	)
+	lsn, err := s.AppendDelta("g", 1, 1, graph.Delta{Add: [][2]int{{0, 1}}})
+	if err != nil {
+		t.Fatalf("append with transient fsync fault: %v", err)
+	}
+	st := s.Stats()
+	if st.WALSyncRetries == 0 {
+		t.Fatal("WALSyncRetries = 0, want > 0")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openStore(t, dir)
+	if len(rec.Records) != 1 || rec.Records[0].LSN != lsn {
+		t.Fatalf("recovered records %+v, want the retried append at LSN %d", rec.Records, lsn)
+	}
+}
+
+// TestWALFsyncExhaustedSurfaces: a sticky fsync failure must surface after
+// the retry budget is spent — and must NOT re-append the record.
+func TestWALFsyncExhaustedSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	s, _, in := openFaulty(t, dir,
+		Options{SyncRetries: 2, SyncRetryBackoff: 1},
+		fault.Fault{Op: fault.OpSync, Path: walPrefix, Err: fault.ErrNoSpace, Sticky: true},
+	)
+	_, err := s.AppendDelta("g", 1, 1, graph.Delta{Add: [][2]int{{0, 1}}})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append with dead disk: %v, want ENOSPC", err)
+	}
+	// 1 initial attempt + 2 retries, all failed.
+	if got := in.Fired(); got != 3 {
+		t.Fatalf("injector fired %d times, want 3 (initial + 2 retries)", got)
+	}
+	if got := s.Stats().WALRecords; got != 1 {
+		t.Fatalf("WALRecords = %d after failed sync, want 1 (no re-append)", got)
+	}
+}

@@ -13,7 +13,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"bedom/internal/fault"
 	"bedom/internal/graph"
 )
 
@@ -45,6 +47,25 @@ type Options struct {
 	// NoSync disables fsync on WAL appends and snapshot writes.  Only for
 	// benchmarks and tests — a crash can lose acknowledged writes.
 	NoSync bool
+	// FS is the filesystem every file operation routes through (nil = the
+	// real os-backed filesystem).  Tests swap in a fault.Injector; production
+	// pays one interface call per op, nothing more.  The advisory directory
+	// lock stays on the real filesystem regardless — flock needs a real fd.
+	FS fault.FS
+	// SyncRetries bounds how many times a failed WAL fsync is retried before
+	// the error surfaces to the appender (0 = no retries).  Retries use
+	// exponential backoff with jitter starting at SyncRetryBackoff.
+	SyncRetries int
+	// SyncRetryBackoff is the base delay before the first fsync retry
+	// (0 = 5ms).  Each further retry doubles it, plus up to 50% jitter.
+	SyncRetryBackoff time.Duration
+}
+
+func (o Options) fs() fault.FS {
+	if o.FS == nil {
+		return fault.OS()
+	}
+	return o.FS
 }
 
 // Store is the on-disk persistence root: snapshot files plus the delta WAL.
@@ -53,6 +74,7 @@ type Store struct {
 	dir       string
 	graphsDir string
 	opts      Options
+	fs        fault.FS
 	lock      *dirLock
 
 	// walMu guards the live-segment pointer: appenders hold it shared,
@@ -70,9 +92,11 @@ type Store struct {
 	sealedRecords atomic.Uint64
 	sealedBytes   atomic.Uint64
 	sealedSyncs   atomic.Uint64
+	sealedRetries atomic.Uint64
 
 	snapshotsWritten atomic.Uint64
 	snapshotBytes    atomic.Uint64
+	snapshotFailures atomic.Uint64
 	checkpoints      atomic.Uint64
 	tmpSeq           atomic.Uint64
 
@@ -113,14 +137,15 @@ type RecoveryStats struct {
 // ready for appends.
 func Open(dir string, opts Options) (*Store, *Recovery, error) {
 	graphsDir := filepath.Join(dir, graphsSubdir)
-	if err := os.MkdirAll(graphsDir, 0o755); err != nil {
+	fs := opts.fs()
+	if err := fs.MkdirAll(graphsDir, 0o755); err != nil {
 		return nil, nil, err
 	}
 	lock, err := acquireDirLock(filepath.Join(dir, lockFileName))
 	if err != nil {
 		return nil, nil, err
 	}
-	s := &Store{dir: dir, graphsDir: graphsDir, opts: opts, lock: lock}
+	s := &Store{dir: dir, graphsDir: graphsDir, opts: opts, fs: fs, lock: lock}
 
 	rec, lastLSN, maxEpoch, err := s.scan()
 	if err != nil {
@@ -145,7 +170,7 @@ func (s *Store) scan() (*Recovery, uint64, uint64, error) {
 	rec := &Recovery{}
 	var lastLSN, maxEpoch uint64
 
-	snapEntries, err := os.ReadDir(s.graphsDir)
+	snapEntries, err := s.fs.ReadDir(s.graphsDir)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -154,14 +179,14 @@ func (s *Store) scan() (*Recovery, uint64, uint64, error) {
 		if strings.HasPrefix(name, tmpFilePrefix) {
 			// A checkpoint died between write and rename; the final file (if
 			// any) is the authoritative snapshot.
-			_ = os.Remove(filepath.Join(s.graphsDir, name))
+			_ = s.fs.Remove(filepath.Join(s.graphsDir, name))
 			continue
 		}
 		if !strings.HasSuffix(name, snapExt) {
 			continue
 		}
 		path := filepath.Join(s.graphsDir, name)
-		meta, g, err := decodeSnapshotFile(path)
+		meta, g, err := decodeSnapshotFile(s.fs, path)
 		if err != nil {
 			// A snapshot either renamed into place completely or not at all,
 			// so corruption here is real data damage — fail loudly instead of
@@ -183,7 +208,7 @@ func (s *Store) scan() (*Recovery, uint64, uint64, error) {
 		return nil, 0, 0, err
 	}
 	for i, seg := range segs {
-		records, truncated, err := readSegment(seg)
+		records, truncated, err := readSegment(s.fs, seg)
 		if err != nil {
 			return nil, 0, 0, fmt.Errorf("store: segment %s: %w", seg, err)
 		}
@@ -203,11 +228,11 @@ func (s *Store) scan() (*Recovery, uint64, uint64, error) {
 			// garbage would make the new — acknowledged — records
 			// unreachable at the next recovery.  Truncating to the intact
 			// prefix loses nothing: a torn suffix was never acked.
-			st, serr := os.Stat(seg)
+			st, serr := s.fs.Stat(seg)
 			if serr != nil {
 				return nil, 0, 0, serr
 			}
-			if terr := os.Truncate(seg, st.Size()-truncated); terr != nil {
+			if terr := s.fs.Truncate(seg, st.Size()-truncated); terr != nil {
 				return nil, 0, 0, fmt.Errorf("store: repairing torn segment %s: %w", seg, terr)
 			}
 		}
@@ -237,7 +262,7 @@ func (s *Store) scan() (*Recovery, uint64, uint64, error) {
 // segmentPaths lists the WAL segment files in firstLSN (= lexicographic,
 // zero-padded) order.
 func (s *Store) segmentPaths() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +284,7 @@ func segmentName(firstLSN uint64) string {
 // openLiveSegment starts the segment that will hold LSNs > lastLSN.
 func (s *Store) openLiveSegment(lastLSN uint64) error {
 	path := filepath.Join(s.dir, segmentName(lastLSN+1))
-	w, err := openWAL(path, lastLSN, s.opts.NoSync)
+	w, err := openWAL(s.fs, path, lastLSN, s.opts)
 	if err != nil {
 		return err
 	}
@@ -305,8 +330,9 @@ func (s *Store) SaveSnapshot(meta SnapshotMeta, g *graph.Graph) error {
 	// The sequence number keeps concurrent saves of the same graph on
 	// distinct temp files; their renames then serialize (last one wins).
 	tmp := filepath.Join(s.graphsDir, fmt.Sprintf("%s%d-%s", tmpFilePrefix, s.tmpSeq.Add(1), filepath.Base(final)))
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
+		s.snapshotFailures.Add(1)
 		return err
 	}
 	cw := &countingWriter{w: f}
@@ -318,10 +344,14 @@ func (s *Store) SaveSnapshot(meta SnapshotMeta, g *graph.Graph) error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, final)
+		err = s.fs.Rename(tmp, final)
 	}
 	if err != nil {
-		_ = os.Remove(tmp)
+		// The final name was never touched: either the temp write failed or
+		// the rename did, and a rename is atomic — the previous snapshot (if
+		// any) is still intact under the final name.
+		_ = s.fs.Remove(tmp)
+		s.snapshotFailures.Add(1)
 		return err
 	}
 	s.snapshotsWritten.Add(1)
@@ -331,7 +361,7 @@ func (s *Store) SaveSnapshot(meta SnapshotMeta, g *graph.Graph) error {
 
 // DeleteSnapshot removes the snapshot of name (a no-op if absent).
 func (s *Store) DeleteSnapshot(name string) error {
-	err := os.Remove(filepath.Join(s.graphsDir, snapFileName(name)))
+	err := s.fs.Remove(filepath.Join(s.graphsDir, snapFileName(name)))
 	if err != nil && !os.IsNotExist(err) {
 		return err
 	}
@@ -365,6 +395,7 @@ func (s *Store) RotateWAL() ([]string, error) {
 	s.sealedRecords.Add(s.wal.records.Load())
 	s.sealedBytes.Add(s.wal.bytes.Load())
 	s.sealedSyncs.Add(s.wal.syncs.Load())
+	s.sealedRetries.Add(s.wal.retries.Load())
 	if err := s.openLiveSegment(lastLSN); err != nil {
 		return nil, err
 	}
@@ -379,7 +410,7 @@ func (s *Store) RotateWAL() ([]string, error) {
 // checkpoint) and counts the checkpoint.
 func (s *Store) RemoveSegments(paths []string) error {
 	for _, p := range paths {
-		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		if err := s.fs.Remove(p); err != nil && !os.IsNotExist(err) {
 			return err
 		}
 	}
@@ -395,6 +426,11 @@ func (s *Store) Close() error {
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
 	_, err := s.wal.seal()
+	if err != nil {
+		// A failed seal leaves the segment open (so rotation can be retried);
+		// Close is terminal, so release the descriptor regardless.
+		s.wal.forceClose()
+	}
 	s.lock.release()
 	return err
 }
@@ -410,10 +446,15 @@ type Stats struct {
 	WALSyncs   uint64 `json:"wal_syncs"`
 	// LastLSN is the most recently appended record's LSN.
 	LastLSN uint64 `json:"last_lsn"`
+	// WALSyncRetries counts fsync attempts that failed and were retried.
+	WALSyncRetries uint64 `json:"wal_sync_retries"`
 	// SnapshotsWritten / SnapshotBytes count snapshot files written
 	// (registrations and checkpoints).
 	SnapshotsWritten uint64 `json:"snapshots_written"`
 	SnapshotBytes    uint64 `json:"snapshot_bytes"`
+	// SnapshotFailures counts snapshot writes that failed (the previous
+	// snapshot, if any, stayed intact under the final name).
+	SnapshotFailures uint64 `json:"snapshot_failures"`
 	// Checkpoints counts completed checkpoint cycles.
 	Checkpoints uint64 `json:"checkpoints"`
 	// Recovered describes what Open found on disk.
@@ -433,9 +474,11 @@ func (s *Store) Stats() Stats {
 		WALRecords:       s.sealedRecords.Load() + live.records.Load(),
 		WALBytes:         s.sealedBytes.Load() + live.bytes.Load(),
 		WALSyncs:         s.sealedSyncs.Load() + live.syncs.Load(),
+		WALSyncRetries:   s.sealedRetries.Load() + live.retries.Load(),
 		LastLSN:          lastLSN,
 		SnapshotsWritten: s.snapshotsWritten.Load(),
 		SnapshotBytes:    s.snapshotBytes.Load(),
+		SnapshotFailures: s.snapshotFailures.Load(),
 		Checkpoints:      s.checkpoints.Load(),
 		Recovered:        s.recovered,
 	}
@@ -446,7 +489,7 @@ func (s *Store) syncDir(dir string) error {
 	if s.opts.NoSync {
 		return nil
 	}
-	d, err := os.Open(dir)
+	d, err := s.fs.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -468,8 +511,8 @@ func snapFileName(name string) string {
 	return "h-" + hex.EncodeToString(sum[:]) + snapExt
 }
 
-func decodeSnapshotFile(path string) (SnapshotMeta, *graph.Graph, error) {
-	f, err := os.Open(path)
+func decodeSnapshotFile(fs fault.FS, path string) (SnapshotMeta, *graph.Graph, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return SnapshotMeta{}, nil, err
 	}

@@ -8,10 +8,13 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"bedom/internal/fault"
 	"bedom/internal/graph"
 )
 
@@ -53,10 +56,12 @@ type Record struct {
 // durable and return without a second fsync.  Under k concurrent writers one
 // fsync acknowledges up to k records.
 type wal struct {
-	nosync bool
+	nosync       bool
+	syncRetries  int
+	retryBackoff time.Duration
 
 	mu  sync.Mutex // serializes buffered writes and LSN assignment
-	f   *os.File
+	f   fault.File
 	bw  *bufio.Writer
 	lsn uint64 // last assigned LSN
 
@@ -66,21 +71,31 @@ type wal struct {
 	records atomic.Uint64
 	bytes   atomic.Uint64
 	syncs   atomic.Uint64
+	retries atomic.Uint64
 }
 
 // openWAL opens (creating if absent) a segment for appending, continuing the
-// LSN sequence after lastLSN.
-func openWAL(path string, lastLSN uint64, nosync bool) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// LSN sequence after lastLSN.  A nil fs means the real filesystem.
+func openWAL(fs fault.FS, path string, lastLSN uint64, opts Options) (*wal, error) {
+	if fs == nil {
+		fs = fault.OS()
+	}
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
+	backoff := opts.SyncRetryBackoff
+	if backoff <= 0 {
+		backoff = 5 * time.Millisecond
+	}
 	return &wal{
-		nosync: nosync,
-		f:      f,
-		bw:     bufio.NewWriter(f),
-		lsn:    lastLSN,
-		synced: lastLSN,
+		nosync:       opts.NoSync,
+		syncRetries:  opts.SyncRetries,
+		retryBackoff: backoff,
+		f:            f,
+		bw:           bufio.NewWriter(f),
+		lsn:          lastLSN,
+		synced:       lastLSN,
 	}, nil
 }
 
@@ -126,7 +141,7 @@ func (w *wal) sync(lsn uint64) error {
 		return err
 	}
 	if !w.nosync {
-		if err := w.f.Sync(); err != nil {
+		if err := w.fsyncWithRetry(); err != nil {
 			return err
 		}
 		w.syncs.Add(1)
@@ -135,22 +150,57 @@ func (w *wal) sync(lsn uint64) error {
 	return nil
 }
 
+// fsyncWithRetry fsyncs the segment, retrying a transient failure up to
+// syncRetries times with exponential backoff plus jitter.  Retrying the fsync
+// (never the append) is what keeps the retry safe: the record bytes are
+// already in the file, and a later successful fsync makes the whole prefix
+// durable at its original LSN.  Re-appending instead would assign a fresh LSN
+// and replay the delta twice.
+func (w *wal) fsyncWithRetry() error {
+	err := w.f.Sync()
+	backoff := w.retryBackoff
+	for attempt := 0; err != nil && attempt < w.syncRetries; attempt++ {
+		w.retries.Add(1)
+		time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff)/2+1)))
+		backoff *= 2
+		err = w.f.Sync()
+	}
+	return err
+}
+
 // seal flushes, fsyncs and closes the segment, returning the last LSN it
-// holds.  The wal must not be appended to afterwards.
+// holds.  On success the wal must not be appended to afterwards; on error the
+// segment is left open and live, so sealing can be retried.
 func (w *wal) seal() (uint64, error) {
 	w.syncMu.Lock()
 	defer w.syncMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	err := w.bw.Flush()
-	if err == nil && !w.nosync {
-		err = w.f.Sync()
+	if err := w.bw.Flush(); err != nil {
+		return w.lsn, err
 	}
-	if cerr := w.f.Close(); err == nil {
-		err = cerr
+	if !w.nosync {
+		if err := w.fsyncWithRetry(); err != nil {
+			// Keep the segment OPEN: a failed seal must leave the WAL live so
+			// the caller can retry the rotation once the disk recovers —
+			// checkpointing again is exactly the degraded engine's recovery
+			// path.  Closing here would wedge every later append and rotate
+			// on a dead file descriptor.
+			return w.lsn, err
+		}
 	}
+	err := w.f.Close()
 	w.synced = w.lsn
 	return w.lsn, err
+}
+
+// forceClose releases the segment descriptor unconditionally.  Terminal
+// shutdown only: after a failed seal the segment is deliberately left open so
+// rotation can be retried, but Close must not leak the descriptor.
+func (w *wal) forceClose() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
 }
 
 // encodeRecordPayload appends the record's payload encoding to buf.
@@ -225,8 +275,11 @@ func decodeRecordPayload(payload []byte) (Record, error) {
 // region in the same segment are unreachable by design: group commit never
 // acknowledged them (an acked record is fsynced before any later record is
 // written), so dropping the suffix loses no acknowledged delta.
-func readSegment(path string) (records []Record, truncated int64, err error) {
-	f, err := os.Open(path)
+func readSegment(fs fault.FS, path string) (records []Record, truncated int64, err error) {
+	if fs == nil {
+		fs = fault.OS()
+	}
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, 0, err
 	}

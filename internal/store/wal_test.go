@@ -20,7 +20,7 @@ func testDelta(i int) graph.Delta {
 
 func TestWALAppendReplay(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, err := openWAL(path, 10, false)
+	w, err := openWAL(nil, path, 10, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestWALAppendReplay(t *testing.T) {
 	if _, err := w.seal(); err != nil {
 		t.Fatal(err)
 	}
-	got, truncated, err := readSegment(path)
+	got, truncated, err := readSegment(nil, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestWALTornTail(t *testing.T) {
 		{0x02, 0xAA, 0xBB, 0, 0, 0, 0}, // full frame, wrong checksum
 	} {
 		path := filepath.Join(t.TempDir(), "wal.log")
-		w, err := openWAL(path, 0, false)
+		w, err := openWAL(nil, path, 0, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +81,7 @@ func TestWALTornTail(t *testing.T) {
 		}
 		f.Close()
 
-		records, truncated, err := readSegment(path)
+		records, truncated, err := readSegment(nil, path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +98,7 @@ func TestWALTornTail(t *testing.T) {
 // there (suffix dropped) rather than erroring or replaying damaged data.
 func TestWALCorruptMidRecord(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, err := openWAL(path, 0, false)
+	w, err := openWAL(nil, path, 0, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestWALCorruptMidRecord(t *testing.T) {
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	records, truncated, err := readSegment(path)
+	records, truncated, err := readSegment(nil, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestWALCorruptMidRecord(t *testing.T) {
 // far fewer fsyncs than appends (the batching the tentpole requires).
 func TestWALConcurrentAppend(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, err := openWAL(path, 0, false)
+	w, err := openWAL(nil, path, 0, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestWALConcurrentAppend(t *testing.T) {
 	if _, err := w.seal(); err != nil {
 		t.Fatal(err)
 	}
-	records, truncated, err := readSegment(path)
+	records, truncated, err := readSegment(nil, path)
 	if err != nil {
 		t.Fatal(err)
 	}
