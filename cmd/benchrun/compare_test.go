@@ -27,6 +27,7 @@ func writeSnapshot(t *testing.T, s snapshot) string {
 func baseSnapshot() snapshot {
 	return snapshot{
 		Schema: snapshotSchema,
+		Tier:   tierQuick,
 		Quick:  true,
 		Config: exp.QuickConfig(),
 		Tables: []*exp.Table{
@@ -140,6 +141,47 @@ func TestCompareStructuralChanges(t *testing.T) {
 	cand.Quick = false
 	if _, err := compare(t, baseSnapshot(), cand, 0.30); err == nil || !strings.Contains(err.Error(), "workload") {
 		t.Fatalf("workload mismatch not fatal: %v", err)
+	}
+}
+
+// TestCompareTierMismatchNamesTiers asserts the workload-mismatch error
+// names BOTH differing tiers — "config structs differ" gave the operator
+// nothing to act on when a quick baseline met a large candidate.
+func TestCompareTierMismatchNamesTiers(t *testing.T) {
+	cand := baseSnapshot()
+	cand.Tier = tierLarge
+	cand.Quick = false
+	_, err := compare(t, baseSnapshot(), cand, 0.30)
+	if err == nil {
+		t.Fatal("tier mismatch passed")
+	}
+	for _, want := range []string{"tier", `"quick"`, `"large"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("tier-mismatch error missing %q: %v", want, err)
+		}
+	}
+
+	// Legacy documents without a Tier field fall back to the quick boolean.
+	legacyFull := baseSnapshot()
+	legacyFull.Tier = ""
+	legacyFull.Quick = false
+	_, err = compare(t, baseSnapshot(), legacyFull, 0.30)
+	if err == nil {
+		t.Fatal("legacy tier mismatch passed")
+	}
+	for _, want := range []string{`"quick"`, `"full"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("legacy tier-mismatch error missing %q: %v", want, err)
+		}
+	}
+
+	// Same tier, different config: still fatal, and the message names the
+	// shared tier rather than a bogus mismatch.
+	cand = baseSnapshot()
+	cand.Config.N *= 2
+	_, err = compare(t, baseSnapshot(), cand, 0.30)
+	if err == nil || !strings.Contains(err.Error(), "configs differ") {
+		t.Fatalf("config mismatch not fatal or unlabelled: %v", err)
 	}
 }
 

@@ -4,7 +4,9 @@
 // Usage:
 //
 //	benchrun                    # full suite, plain-text tables
-//	benchrun -quick             # reduced workload (seconds instead of minutes)
+//	benchrun -tier quick        # reduced workload (seconds instead of minutes)
+//	benchrun -tier large        # scale tier: million-vertex instances (L1)
+//	benchrun -quick             # alias for -tier quick
 //	benchrun -markdown          # markdown tables (used to update EXPERIMENTS.md)
 //	benchrun -json              # one JSON document (perf-trajectory snapshots)
 //	benchrun -exp E3,E7         # selected experiments only
@@ -12,6 +14,10 @@
 //	benchrun -compare BENCH_baseline.json BENCH_new.json
 //	                            # regression gate: compare two snapshots,
 //	                            # exit 1 if any table drifts > -threshold
+//
+// The quick and full tiers run E1–E10; the large tier runs the scale
+// experiments (L1) at 10⁶–10⁷ vertices (-n overrides the size), exercising
+// the raw-aligned snapshot format and the zero-copy mmap recovery path.
 package main
 
 import (
@@ -28,25 +34,39 @@ import (
 
 // snapshotSchema versions the -json document; bump it whenever the snapshot
 // layout changes so downstream consumers (the CI perf gate, jq assertions)
-// can key off it instead of guessing from field shapes.
-const snapshotSchema = 2
+// can key off it instead of guessing from field shapes.  Schema 3 added the
+// workload tier (quick | full | large) alongside the legacy quick boolean.
+const snapshotSchema = 3
 
 // snapshot is the JSON document emitted by -json: enough provenance to
 // compare perf trajectories across PRs (CI writes one per run and gates on
 // the drift vs the committed baseline).
 type snapshot struct {
-	Schema      int          `json:"schema"`
-	GeneratedAt string       `json:"generated_at"`
-	GoVersion   string       `json:"go_version"`
-	GOMAXPROCS  int          `json:"gomaxprocs"`
-	Quick       bool         `json:"quick"`
-	Config      exp.Config   `json:"config"`
-	Tables      []*exp.Table `json:"tables"`
+	Schema      int    `json:"schema"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	// Tier is the workload tier the snapshot was produced with; snapshots
+	// from different tiers are never comparable.
+	Tier string `json:"tier"`
+	// Quick mirrors Tier == "quick" for older tooling.
+	Quick  bool         `json:"quick"`
+	Config exp.Config   `json:"config"`
+	Tables []*exp.Table `json:"tables"`
 }
+
+// Workload tiers: quick and full run E1–E10 at unit-test / laptop sizes;
+// large runs the scale experiments (L1) at million-vertex sizes.
+const (
+	tierQuick = "quick"
+	tierFull  = "full"
+	tierLarge = "large"
+)
 
 func main() {
 	var (
-		quick     = flag.Bool("quick", false, "use a reduced workload")
+		tier      = flag.String("tier", "", "workload tier: quick, full or large (default full)")
+		quick     = flag.Bool("quick", false, "alias for -tier quick")
 		markdown  = flag.Bool("markdown", false, "emit markdown tables")
 		jsonOut   = flag.Bool("json", false, "emit one JSON document with all tables")
 		only      = flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
@@ -73,15 +93,42 @@ func main() {
 		return
 	}
 
+	switch *tier {
+	case "":
+		*tier = tierFull
+		if *quick {
+			*tier = tierQuick
+		}
+	case tierQuick, tierFull, tierLarge:
+		if *quick && *tier != tierQuick {
+			fmt.Fprintf(os.Stderr, "benchrun: -quick contradicts -tier %s\n", *tier)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "benchrun: unknown tier %q (want quick, full or large)\n", *tier)
+		os.Exit(2)
+	}
+
 	cfg := exp.DefaultConfig()
-	if *quick {
+	if *tier == tierQuick {
 		cfg = exp.QuickConfig()
 	}
 	if *n > 0 {
-		cfg.N = *n
+		// In the large tier -n sizes the scale instances; elsewhere it sizes
+		// the quality experiments.
+		if *tier == tierLarge {
+			cfg.LargeN = *n
+		} else {
+			cfg.N = *n
+		}
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+
+	suite := exp.All()
+	if *tier == tierLarge {
+		suite = exp.Scale()
 	}
 
 	selected := map[string]bool{}
@@ -93,7 +140,7 @@ func main() {
 
 	var tables []*exp.Table
 	ran := 0
-	for _, e := range exp.All() {
+	for _, e := range suite {
 		if len(selected) > 0 && !selected[e.ID] {
 			continue
 		}
@@ -121,7 +168,8 @@ func main() {
 			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 			GoVersion:   runtime.Version(),
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
-			Quick:       *quick,
+			Tier:        *tier,
+			Quick:       *tier == tierQuick,
 			Config:      cfg,
 			Tables:      tables,
 		}); err != nil {

@@ -131,6 +131,18 @@ type Config struct {
 	// FS routes a persistent engine's store through an alternate filesystem
 	// (nil = the real one).  Tests pass a fault.Injector.  Ignored by New.
 	FS fault.FS
+	// NoMmap forces a persistent engine to recover every snapshot through
+	// the allocating decode path even when the file and platform support
+	// zero-copy serving.  Open picks mmap automatically otherwise (raw-flag
+	// snapshots, real filesystem, 64-bit little-endian build); the knob
+	// exists for equivalence tests and for debugging page-cache behavior.
+	// Ignored by New.
+	NoMmap bool
+	// RawSnapshotMinEntries is the CSR entry count (n+1+2m) at which the
+	// store writes mmap-able raw-aligned snapshots instead of varint-packed
+	// ones (0 = store default, ~1M entries; negative = always varint).
+	// Ignored by New.  See store.Options.RawSnapshotMinEntries.
+	RawSnapshotMinEntries int
 }
 
 func (c Config) normalised() Config {
@@ -449,6 +461,11 @@ func (e *Engine) Close() {
 	e.graphs = make(map[string]*graphEntry)
 	e.anon = make(map[weak.Pointer[graph.Graph]]anonHandle)
 	e.mu.Unlock()
+	// Unmap zero-copy snapshots LAST: the worker pool is drained and the
+	// registry is cleared, so no reader can still touch borrowed CSR arrays.
+	if e.store != nil {
+		_ = e.store.ReleaseMappings()
+	}
 }
 
 // --- Graph registry -------------------------------------------------------

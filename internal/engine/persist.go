@@ -30,6 +30,11 @@ func Open(dataDir string, cfg Config) (*Engine, error) {
 		FS:               cfg.FS,
 		SyncRetries:      norm.PersistRetries,
 		SyncRetryBackoff: norm.PersistRetryBackoff,
+		// Raw-flag snapshots are served zero-copy from the page cache
+		// whenever the platform allows; the store falls back to decoding
+		// per file, so the knob is safe to leave on everywhere.
+		Mmap:                  !cfg.NoMmap,
+		RawSnapshotMinEntries: cfg.RawSnapshotMinEntries,
 	})
 	if err != nil {
 		return nil, err

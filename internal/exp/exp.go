@@ -114,6 +114,9 @@ type Config struct {
 	// Families restricts the graph families (nil = the full registry of
 	// internal/gen minus the Erdős–Rényi comparator for quality tables).
 	Families []string
+	// LargeN is the target size of the large-tier scale experiments (L1,
+	// run by `benchrun -tier large`); the E1–E10 suite ignores it.
+	LargeN int
 }
 
 // DefaultConfig returns the configuration used to produce EXPERIMENTS.md
@@ -125,6 +128,7 @@ func DefaultConfig() Config {
 		SmallN:       28,
 		ScalingSizes: []int{256, 1024, 4096, 16384},
 		Radii:        []int{1, 2, 3},
+		LargeN:       1_000_000,
 	}
 }
 
@@ -138,6 +142,7 @@ func QuickConfig() Config {
 		ScalingSizes: []int{64, 256},
 		Radii:        []int{1, 2},
 		Families:     []string{"grid", "apollonian", "tree"},
+		LargeN:       20_000,
 	}
 }
 
@@ -161,6 +166,16 @@ func All() []Experiment {
 		{"E8", "Ablation: augmentation depth of the order construction", E8AugmentationAblation},
 		{"E9", "Persistence codec compactness and WAL replay fidelity (internal/store)", E9PersistenceCodec},
 		{"E10", "Solver strategies head to head (internal/solver registry)", E10SolverHeadToHead},
+	}
+}
+
+// Scale returns the large-tier experiment list (run by benchrun -tier
+// large): workloads sized by Config.LargeN instead of Config.N, exercising
+// the zero-copy snapshot path at 10⁶–10⁷ vertices.  They are kept out of
+// All() so the default and quick tiers stay laptop-sized.
+func Scale() []Experiment {
+	return []Experiment{
+		{"L1", "Million-vertex cold start: raw snapshots, mmap recovery, query latency", L1ScaleColdStart},
 	}
 }
 

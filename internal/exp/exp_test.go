@@ -97,3 +97,30 @@ func TestE1ContainsSmallExactRows(t *testing.T) {
 		t.Fatal("E1 has no exact small-instance rows")
 	}
 }
+
+// TestScaleSuiteRuns exercises the large-tier experiment at a unit-test
+// size: every gated cell must report the raw snapshot variant and a
+// post-restart answer identical to the pre-restart one.
+func TestScaleSuiteRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite in -short mode")
+	}
+	cfg := QuickConfig()
+	cfg.LargeN = 3000
+	cfg.Families = []string{"grid", "attach-tree"}
+	for _, e := range Scale() {
+		tbl := e.Run(cfg)
+		if tbl == nil || tbl.ID != e.ID {
+			t.Fatalf("experiment %s produced %+v", e.ID, tbl)
+		}
+		if len(tbl.Rows) != 2 {
+			t.Fatalf("%s: family restriction ignored: %d rows\n%s", e.ID, len(tbl.Rows), tbl.Format())
+		}
+		for _, row := range tbl.Rows {
+			raw, identical := row[4], row[len(row)-1]
+			if raw != "true" || identical != "true" {
+				t.Fatalf("%s: raw=%s identical=%s for row %v", e.ID, raw, identical, row)
+			}
+		}
+	}
+}

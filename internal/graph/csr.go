@@ -24,6 +24,24 @@ func (g *Graph) CSR() (off, tgt []int32) {
 // adjacency) so that a corrupted or hand-built snapshot cannot produce a
 // graph that violates the library's invariants.
 func FromCSR(off, tgt []int32) (*Graph, error) {
+	return fromCSR(off, tgt, true)
+}
+
+// FromCSRBorrowed is FromCSR minus the O(m·log deg) symmetry pass, for
+// borrowed (e.g. mmap'd) arrays whose integrity is already established out of
+// band — a checksum-verified snapshot written by a process that only encodes
+// finalized graphs cannot be asymmetric without also failing its CRC.  The
+// cheap structural checks (monotone offsets, strictly sorted in-range rows,
+// no self-loops, even entry count) still run: they are O(n+m) reads with no
+// allocation, and they are what keeps a trusted-but-wrong array from causing
+// index panics deep inside the algorithms.  The arrays are borrowed, not
+// copied: they must stay valid and unmodified for the graph's lifetime (for
+// a memory-mapped snapshot, until the mapping is unmapped).
+func FromCSRBorrowed(off, tgt []int32) (*Graph, error) {
+	return fromCSR(off, tgt, false)
+}
+
+func fromCSR(off, tgt []int32, checkSymmetry bool) (*Graph, error) {
 	if len(off) == 0 {
 		return nil, fmt.Errorf("graph: FromCSR: empty offsets array")
 	}
@@ -57,10 +75,12 @@ func FromCSR(off, tgt []int32) (*Graph, error) {
 	g := &Graph{n: n, m: len(tgt) / 2, off: off, tgt: tgt, finalized: true}
 	// Symmetry needs the binary-searchable rows, so it is checked after the
 	// structural pass above established sortedness.
-	for v := 0; v < n; v++ {
-		for _, w := range tgt[off[v]:off[v+1]] {
-			if !g.HasEdge(int(w), v) {
-				return nil, fmt.Errorf("graph: FromCSR: asymmetric edge {%d,%d}", v, w)
+	if checkSymmetry {
+		for v := 0; v < n; v++ {
+			for _, w := range tgt[off[v]:off[v+1]] {
+				if !g.HasEdge(int(w), v) {
+					return nil, fmt.Errorf("graph: FromCSR: asymmetric edge {%d,%d}", v, w)
+				}
 			}
 		}
 	}

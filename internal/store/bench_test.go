@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -43,6 +44,59 @@ func BenchmarkSnapshotDecode(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := DecodeSnapshot(bytes.NewReader(blob)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotDecodeRaw(b *testing.B) {
+	g := benchGraph(b)
+	var buf bytes.Buffer
+	if err := EncodeSnapshotRaw(&buf, SnapshotMeta{Name: "bench", Epoch: 1}, g); err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeSnapshot(bytes.NewReader(blob)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotOpenMmap is the zero-copy cold-open path: CRC verification
+// still touches every page, but no CSR array is allocated or copied.
+func BenchmarkSnapshotOpenMmap(b *testing.B) {
+	if !MmapSupported() {
+		b.Skip("mmap unsupported on this platform")
+	}
+	g := benchGraph(b)
+	path := filepath.Join(b.TempDir(), "bench.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := EncodeSnapshotRaw(f, SnapshotMeta{Name: "bench", Epoch: 1}, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fi.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, m, err := OpenMmapSnapshot(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Close(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -53,14 +53,34 @@ import (
 // Decoding rebuilds off/tgt exactly and hands them to graph.FromCSR, so a
 // decoded snapshot is bit-identical to the encoded graph (Finalize's CSR
 // layout is canonical for an edge set).
+//
+// Raw-aligned variant (header flag flagRawSections, written by
+// EncodeSnapshotRaw): the same section framing and per-section CRC-32C, but
+// OFFSETS is the CSR offsets array verbatim — (n+1) little-endian int32 — and
+// TARGETS is the targets array verbatim (2m little-endian int32), each
+// preceded by a PAD section sized so the payload starts at a file offset that
+// is a multiple of 8.  A page-aligned memory mapping of the file can then
+// serve both arrays as borrowed []int32 slices with no decode-time allocation
+// proportional to m (see OpenMmapSnapshot); readers without mmap support
+// decode the raw sections through the ordinary allocating path.
 const (
 	snapshotMagic   = "BDSN"
 	snapshotVersion = 1
 
+	// flagRawSections marks the raw-aligned variant.  All other flag bits
+	// remain reserved and are rejected.
+	flagRawSections uint16 = 0x0001
+
 	tagMeta    byte = 0x01
 	tagOffsets byte = 0x02
 	tagTargets byte = 0x03
+	tagPad     byte = 0x04
 	tagEnd     byte = 0xFF
+
+	// rawAlign is the file-offset alignment of raw section payloads; 8 keeps
+	// the int32 arrays alignable on every architecture the mmap path builds
+	// for, with headroom for a future int64 variant.
+	rawAlign = 8
 )
 
 // crcTable is the Castagnoli polynomial table shared by snapshots and WAL
@@ -96,7 +116,7 @@ type SnapshotMeta struct {
 }
 
 // EncodeSnapshot writes g (which must be finalized) and its meta as one
-// snapshot document.
+// snapshot document in the varint-packed format.
 func EncodeSnapshot(w io.Writer, meta SnapshotMeta, g *graph.Graph) error {
 	if !g.Finalized() {
 		return errors.New("store: EncodeSnapshot: graph is not finalized")
@@ -104,23 +124,10 @@ func EncodeSnapshot(w io.Writer, meta SnapshotMeta, g *graph.Graph) error {
 	off, tgt := g.CSR()
 	n := g.N()
 
-	header := make([]byte, 0, 8)
-	header = append(header, snapshotMagic...)
-	header = binary.LittleEndian.AppendUint16(header, snapshotVersion)
-	header = binary.LittleEndian.AppendUint16(header, 0) // flags
-	if _, err := w.Write(header); err != nil {
+	if err := writeSnapshotHeader(w, 0); err != nil {
 		return err
 	}
-
-	metaPayload := make([]byte, 0, 32+len(meta.Name))
-	metaPayload = binary.AppendUvarint(metaPayload, uint64(len(meta.Name)))
-	metaPayload = append(metaPayload, meta.Name...)
-	metaPayload = binary.AppendUvarint(metaPayload, meta.Epoch)
-	metaPayload = binary.AppendUvarint(metaPayload, meta.CoveredLSN)
-	metaPayload = binary.AppendUvarint(metaPayload, meta.Gen)
-	metaPayload = binary.AppendUvarint(metaPayload, uint64(n))
-	metaPayload = binary.AppendUvarint(metaPayload, uint64(g.M()))
-	if err := writeSection(w, tagMeta, metaPayload); err != nil {
+	if err := writeSection(w, tagMeta, metaPayload(meta, n, g.M())); err != nil {
 		return err
 	}
 
@@ -147,6 +154,120 @@ func EncodeSnapshot(w io.Writer, meta SnapshotMeta, g *graph.Graph) error {
 		return err
 	}
 	return writeSection(w, tagEnd, nil)
+}
+
+// EncodeSnapshotRaw writes g and its meta in the raw-aligned variant: the CSR
+// offsets and targets arrays verbatim as little-endian int32 sections, padded
+// so each payload starts at a multiple of rawAlign in the file.  The encoding
+// streams through a fixed scratch buffer, so encoding a 10⁷-vertex graph does
+// not allocate a second copy of its arrays.
+func EncodeSnapshotRaw(w io.Writer, meta SnapshotMeta, g *graph.Graph) error {
+	if !g.Finalized() {
+		return errors.New("store: EncodeSnapshotRaw: graph is not finalized")
+	}
+	off, tgt := g.CSR()
+	n := g.N()
+
+	pw := &positionWriter{w: w}
+	if err := writeSnapshotHeader(pw, flagRawSections); err != nil {
+		return err
+	}
+	if err := writeSection(pw, tagMeta, metaPayload(meta, n, g.M())); err != nil {
+		return err
+	}
+	if err := writePad(pw, 4*len(off)); err != nil {
+		return err
+	}
+	if err := writeRawInt32Section(pw, tagOffsets, off); err != nil {
+		return err
+	}
+	if err := writePad(pw, 4*len(tgt)); err != nil {
+		return err
+	}
+	if err := writeRawInt32Section(pw, tagTargets, tgt); err != nil {
+		return err
+	}
+	return writeSection(pw, tagEnd, nil)
+}
+
+func writeSnapshotHeader(w io.Writer, flags uint16) error {
+	header := make([]byte, 0, 8)
+	header = append(header, snapshotMagic...)
+	header = binary.LittleEndian.AppendUint16(header, snapshotVersion)
+	header = binary.LittleEndian.AppendUint16(header, flags)
+	_, err := w.Write(header)
+	return err
+}
+
+func metaPayload(meta SnapshotMeta, n, m int) []byte {
+	p := make([]byte, 0, 32+len(meta.Name))
+	p = binary.AppendUvarint(p, uint64(len(meta.Name)))
+	p = append(p, meta.Name...)
+	p = binary.AppendUvarint(p, meta.Epoch)
+	p = binary.AppendUvarint(p, meta.CoveredLSN)
+	p = binary.AppendUvarint(p, meta.Gen)
+	p = binary.AppendUvarint(p, uint64(n))
+	p = binary.AppendUvarint(p, uint64(m))
+	return p
+}
+
+// positionWriter tracks the absolute file offset so writePad can align the
+// next section's payload.
+type positionWriter struct {
+	w   io.Writer
+	pos int64
+}
+
+func (p *positionWriter) Write(b []byte) (int, error) {
+	n, err := p.w.Write(b)
+	p.pos += int64(n)
+	return n, err
+}
+
+// writePad emits one PAD section (zero payload, CRC framed like every other
+// section) sized so that the NEXT section's payload — whose length is
+// nextPayloadLen — will start at a file offset that is a multiple of
+// rawAlign.  The pad length is the smallest solution, always < rawAlign+2.
+func writePad(pw *positionWriter, nextPayloadLen int) error {
+	for padLen := 0; ; padLen++ {
+		end := pw.pos + int64(1+uvarintLen(uint64(padLen))+padLen+4) // pad section
+		payloadStart := end + int64(1+uvarintLen(uint64(nextPayloadLen)))
+		if payloadStart%rawAlign == 0 {
+			return writeSection(pw, tagPad, make([]byte, padLen))
+		}
+	}
+}
+
+// writeRawInt32Section streams vals as little-endian int32s through a fixed
+// scratch buffer, computing the section CRC incrementally.
+func writeRawInt32Section(pw *positionWriter, tag byte, vals []int32) error {
+	head := make([]byte, 0, 1+binary.MaxVarintLen64)
+	head = append(head, tag)
+	head = binary.AppendUvarint(head, uint64(4*len(vals)))
+	if _, err := pw.Write(head); err != nil {
+		return err
+	}
+	var scratch [64 * 1024]byte
+	crc := uint32(0)
+	for len(vals) > 0 {
+		chunk := vals
+		if len(chunk) > len(scratch)/4 {
+			chunk = chunk[:len(scratch)/4]
+		}
+		buf := scratch[:4*len(chunk)]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+		}
+		crc = crc32.Update(crc, crcTable, buf)
+		if _, err := pw.Write(buf); err != nil {
+			return err
+		}
+		vals = vals[len(chunk):]
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	_, err := pw.Write(tail[:])
+	return err
 }
 
 func writeSection(w io.Writer, tag byte, payload []byte) error {
@@ -185,11 +306,13 @@ func DecodeSnapshot(r io.Reader) (SnapshotMeta, *graph.Graph, error) {
 	if v := binary.LittleEndian.Uint16(header[4:6]); v != snapshotVersion {
 		return meta, nil, fmt.Errorf("%w %d (want %d)", ErrVersion, v, snapshotVersion)
 	}
-	if f := binary.LittleEndian.Uint16(header[6:8]); f != 0 {
-		// Flags are reserved: a nonzero value means a future writer relying
-		// on semantics this decoder does not implement.
-		return meta, nil, fmt.Errorf("%w: unsupported flags 0x%04x", ErrVersion, f)
+	flags := binary.LittleEndian.Uint16(header[6:8])
+	if flags != 0 && flags != flagRawSections {
+		// All other flag bits are reserved: a nonzero value means a future
+		// writer relying on semantics this decoder does not implement.
+		return meta, nil, fmt.Errorf("%w: unsupported flags 0x%04x", ErrVersion, flags)
 	}
+	raw := flags == flagRawSections
 
 	metaPayload, err := readSection(br, tagMeta)
 	if err != nil {
@@ -211,6 +334,14 @@ func DecodeSnapshot(r io.Reader) (SnapshotMeta, *graph.Graph, error) {
 	}
 	if n > math.MaxInt32 || m > math.MaxInt32 {
 		return meta, nil, fmt.Errorf("%w: unreasonable counts n=%d m=%d", ErrBadSnapshot, n, m)
+	}
+
+	if raw {
+		g, err := decodeRawSections(br, n, m)
+		if err != nil {
+			return meta, nil, err
+		}
+		return meta, g, nil
 	}
 
 	offPayload, err := readSection(br, tagOffsets)
@@ -270,17 +401,71 @@ func DecodeSnapshot(r io.Reader) (SnapshotMeta, *graph.Graph, error) {
 	return meta, g, nil
 }
 
-// readSection reads one section, demands the expected tag, and verifies the
-// payload checksum.  The payload is accumulated with a bounded-growth copy so
-// a corrupted length claims no more memory than the input actually holds.
-func readSection(br io.ByteReader, wantTag byte) ([]byte, error) {
-	tag, err := br.ReadByte()
+// decodeRawSections is the allocating fallback for the raw-aligned variant:
+// it copies the little-endian payloads into fresh int32 slices and runs the
+// full FromCSR validation.  The zero-copy route is OpenMmapSnapshot.
+func decodeRawSections(br byteReaderReader, n, m uint64) (*graph.Graph, error) {
+	offPayload, err := readSection(br, tagOffsets)
 	if err != nil {
-		return nil, fmt.Errorf("%w: missing section: %v", ErrBadSnapshot, err)
+		return nil, err
 	}
-	if tag != wantTag {
-		return nil, fmt.Errorf("%w: section tag 0x%02x, want 0x%02x", ErrBadSnapshot, tag, wantTag)
+	if uint64(len(offPayload)) != 4*(n+1) {
+		return nil, fmt.Errorf("%w: raw offsets section is %d bytes, want %d", ErrBadSnapshot, len(offPayload), 4*(n+1))
 	}
+	tgtPayload, err := readSection(br, tagTargets)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(tgtPayload)) != 4*2*m {
+		return nil, fmt.Errorf("%w: raw targets section is %d bytes, want %d", ErrBadSnapshot, len(tgtPayload), 4*2*m)
+	}
+	if _, err := readSection(br, tagEnd); err != nil {
+		return nil, err
+	}
+	off := decodeInt32LE(offPayload)
+	tgt := decodeInt32LE(tgtPayload)
+	g, err := graph.FromCSR(off, tgt)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return g, nil
+}
+
+func decodeInt32LE(payload []byte) []int32 {
+	out := make([]int32, len(payload)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return out
+}
+
+// readSection reads one section, demands the expected tag, and verifies the
+// payload checksum.  PAD sections (the raw variant's alignment filler) are
+// checksum-verified and skipped wherever they appear.  The payload is
+// accumulated with a bounded-growth copy so a corrupted length claims no more
+// memory than the input actually holds.
+func readSection(br io.ByteReader, wantTag byte) ([]byte, error) {
+	for {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: missing section: %v", ErrBadSnapshot, err)
+		}
+		if tag == tagPad && wantTag != tagPad {
+			if _, err := readSectionBody(br, tag); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if tag != wantTag {
+			return nil, fmt.Errorf("%w: section tag 0x%02x, want 0x%02x", ErrBadSnapshot, tag, wantTag)
+		}
+		return readSectionBody(br, tag)
+	}
+}
+
+// readSectionBody reads the length, payload and checksum of a section whose
+// tag byte has already been consumed.
+func readSectionBody(br io.ByteReader, wantTag byte) ([]byte, error) {
 	length, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("%w: bad section length: %v", ErrBadSnapshot, err)
@@ -350,6 +535,124 @@ func (c *payloadCursor) uvarint() uint64 {
 	}
 	c.pos += k
 	return v
+}
+
+// ErrNotMmapable is returned by the zero-copy open path when a snapshot must
+// be served through the decoding fallback instead: the file lacks the
+// raw-sections flag (varint format), a payload missed its alignment, the
+// platform has no mmap support, or the mapping syscall failed.  It does NOT
+// indicate corruption — a corrupt file fails with ErrBadSnapshot from
+// whichever path reads it.
+var ErrNotMmapable = errors.New("store: snapshot cannot be memory-mapped")
+
+// parseRawSnapshot walks a complete raw-variant snapshot held in memory
+// (typically an mmap'd file), verifies every section checksum, and returns
+// the meta plus the OFFSETS and TARGETS payloads as subslices of data —
+// zero-copy, aligned to rawAlign relative to the start of data.  Varint-format
+// files and misaligned payloads return ErrNotMmapable (fall back to
+// DecodeSnapshot); structural damage returns ErrBadSnapshot.
+func parseRawSnapshot(data []byte) (meta SnapshotMeta, rawOff, rawTgt []byte, err error) {
+	if len(data) < 8 {
+		return meta, nil, nil, fmt.Errorf("%w: short header", ErrBadSnapshot)
+	}
+	if string(data[:4]) != snapshotMagic {
+		return meta, nil, nil, fmt.Errorf("%w: magic %q", ErrBadSnapshot, data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != snapshotVersion {
+		return meta, nil, nil, fmt.Errorf("%w %d (want %d)", ErrVersion, v, snapshotVersion)
+	}
+	flags := binary.LittleEndian.Uint16(data[6:8])
+	if flags != flagRawSections {
+		if flags == 0 {
+			return meta, nil, nil, fmt.Errorf("%w: varint format (no raw-sections flag)", ErrNotMmapable)
+		}
+		return meta, nil, nil, fmt.Errorf("%w: unsupported flags 0x%04x", ErrVersion, flags)
+	}
+
+	pos := 8
+	// next returns the payload of the next non-PAD section, which must carry
+	// wantTag, along with the payload's offset within data.
+	next := func(wantTag byte) ([]byte, int, error) {
+		for {
+			if pos >= len(data) {
+				return nil, 0, fmt.Errorf("%w: missing section 0x%02x", ErrBadSnapshot, wantTag)
+			}
+			tag := data[pos]
+			pos++
+			length, k := binary.Uvarint(data[pos:])
+			if k <= 0 || length > math.MaxInt32 {
+				return nil, 0, fmt.Errorf("%w: bad section length", ErrBadSnapshot)
+			}
+			pos += k
+			if uint64(len(data)-pos) < length+4 {
+				return nil, 0, fmt.Errorf("%w: truncated section payload", ErrBadSnapshot)
+			}
+			payloadAt := pos
+			payload := data[pos : pos+int(length)]
+			pos += int(length)
+			want := binary.LittleEndian.Uint32(data[pos:])
+			pos += 4
+			if got := crc32.Checksum(payload, crcTable); got != want {
+				return nil, 0, fmt.Errorf("%w: section 0x%02x checksum mismatch (got %08x, want %08x)", ErrBadSnapshot, tag, got, want)
+			}
+			if tag == tagPad {
+				continue
+			}
+			if tag != wantTag {
+				return nil, 0, fmt.Errorf("%w: section tag 0x%02x, want 0x%02x", ErrBadSnapshot, tag, wantTag)
+			}
+			return payload, payloadAt, nil
+		}
+	}
+
+	mp, _, err := next(tagMeta)
+	if err != nil {
+		return meta, nil, nil, err
+	}
+	cur := payloadCursor{buf: mp}
+	nameLen := cur.uvarint()
+	if nameLen > uint64(len(mp)) {
+		return meta, nil, nil, fmt.Errorf("%w: meta name length %d exceeds section", ErrBadSnapshot, nameLen)
+	}
+	meta.Name = string(cur.bytes(int(nameLen)))
+	meta.Epoch = cur.uvarint()
+	meta.CoveredLSN = cur.uvarint()
+	meta.Gen = cur.uvarint()
+	n := cur.uvarint()
+	m := cur.uvarint()
+	if cur.err != nil {
+		return meta, nil, nil, fmt.Errorf("%w: truncated meta section", ErrBadSnapshot)
+	}
+	if n > math.MaxInt32 || m > math.MaxInt32 {
+		return meta, nil, nil, fmt.Errorf("%w: unreasonable counts n=%d m=%d", ErrBadSnapshot, n, m)
+	}
+
+	rawOff, offAt, err := next(tagOffsets)
+	if err != nil {
+		return meta, nil, nil, err
+	}
+	if uint64(len(rawOff)) != 4*(n+1) {
+		return meta, nil, nil, fmt.Errorf("%w: raw offsets section is %d bytes, want %d", ErrBadSnapshot, len(rawOff), 4*(n+1))
+	}
+	rawTgt, tgtAt, err := next(tagTargets)
+	if err != nil {
+		return meta, nil, nil, err
+	}
+	if uint64(len(rawTgt)) != 4*2*m {
+		return meta, nil, nil, fmt.Errorf("%w: raw targets section is %d bytes, want %d", ErrBadSnapshot, len(rawTgt), 4*2*m)
+	}
+	if _, _, err := next(tagEnd); err != nil {
+		return meta, nil, nil, err
+	}
+	if pos != len(data) {
+		return meta, nil, nil, fmt.Errorf("%w: %d trailing bytes after END section", ErrBadSnapshot, len(data)-pos)
+	}
+	if offAt%rawAlign != 0 || tgtAt%rawAlign != 0 {
+		// Written by a non-padding encoder; the arrays cannot be cast in
+		// place, so serve the file through the decoding path instead.
+		return meta, nil, nil, fmt.Errorf("%w: raw payload misaligned (offsets at %d, targets at %d)", ErrNotMmapable, offAt, tgtAt)
+	}
+	return meta, rawOff, rawTgt, nil
 }
 
 func (c *payloadCursor) bytes(n int) []byte {

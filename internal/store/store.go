@@ -42,11 +42,35 @@ const (
 // ErrLocked is returned by Open when another live process holds the store.
 var ErrLocked = errors.New("store: data directory is locked by another process")
 
+// defaultRawMinEntries is the size (CSR entries, n+1 offsets + 2m targets) at
+// which SaveSnapshot switches from the varint packing to the raw-aligned
+// variant: ~4 MB of arrays, the point where decode-time allocation starts to
+// dominate cold opens and the 2.5–3.6×-smaller varint file stops paying for
+// itself against the page cache.
+const defaultRawMinEntries = 1 << 20
+
 // Options tunes a Store.
 type Options struct {
 	// NoSync disables fsync on WAL appends and snapshot writes.  Only for
 	// benchmarks and tests — a crash can lose acknowledged writes.
 	NoSync bool
+	// Mmap serves raw-variant snapshots zero-copy during the Open scan: the
+	// file is memory-mapped, checksum-verified, and its CSR arrays are
+	// borrowed from the page cache instead of decoded (no allocation
+	// proportional to m).  Varint-format files, unsupported platforms
+	// (32-bit, big-endian, no mmap) and mapping failures fall back to the
+	// decoding path silently; real corruption still fails loudly from either
+	// path.  Mappings stay open until ReleaseMappings — see that method for
+	// the lifetime rules.  Ignored (never mapped) when FS is overridden:
+	// mmap needs a real file descriptor, and routing reads around a fault
+	// injector would blind the fault tests.
+	Mmap bool
+	// RawSnapshotMinEntries is the CSR entry count (n+1+2m) at which
+	// SaveSnapshot writes the raw-aligned variant instead of the varint
+	// packing (0 = defaultRawMinEntries; negative = always varint).  Small
+	// graphs stay varint — 2.5–3.6 B/edge on disk matters more than decode
+	// cost there; large graphs trade bytes for zero-copy opens.
+	RawSnapshotMinEntries int
 	// FS is the filesystem every file operation routes through (nil = the
 	// real os-backed filesystem).  Tests swap in a fault.Injector; production
 	// pays one interface call per op, nothing more.  The advisory directory
@@ -95,12 +119,17 @@ type Store struct {
 	sealedRetries atomic.Uint64
 
 	snapshotsWritten atomic.Uint64
+	snapshotsRaw     atomic.Uint64
 	snapshotBytes    atomic.Uint64
 	snapshotFailures atomic.Uint64
 	checkpoints      atomic.Uint64
 	tmpSeq           atomic.Uint64
 
 	recovered RecoveryStats
+
+	// mapMu guards the open snapshot mappings (Options.Mmap recovery).
+	mapMu    sync.Mutex
+	mappings []*Mapping
 }
 
 // RecoveredGraph is one graph restored from a snapshot file.
@@ -129,6 +158,12 @@ type RecoveryStats struct {
 	Graphs         int   `json:"graphs"`
 	WALRecords     int   `json:"wal_records"`
 	TruncatedBytes int64 `json:"truncated_bytes"`
+	// MmapGraphs counts recovered graphs served zero-copy from a memory
+	// mapping (always ≤ Graphs; 0 when Options.Mmap is off or every snapshot
+	// fell back to the decoding path).
+	MmapGraphs int `json:"mmap_graphs"`
+	// MmapBytes is the total mapped snapshot size backing those graphs.
+	MmapBytes int64 `json:"mmap_bytes"`
 }
 
 // Open attaches to (creating if needed) the store rooted at dir, scans its
@@ -153,11 +188,10 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 		return nil, nil, err
 	}
 	s.epoch = maxEpoch
-	s.recovered = RecoveryStats{
-		Graphs:         len(rec.Graphs),
-		WALRecords:     len(rec.Records),
-		TruncatedBytes: rec.TruncatedBytes,
-	}
+	// Mmap counters were accumulated by loadSnapshot during the scan.
+	s.recovered.Graphs = len(rec.Graphs)
+	s.recovered.WALRecords = len(rec.Records)
+	s.recovered.TruncatedBytes = rec.TruncatedBytes
 	if err := s.openLiveSegment(lastLSN); err != nil {
 		lock.release()
 		return nil, nil, err
@@ -186,7 +220,7 @@ func (s *Store) scan() (*Recovery, uint64, uint64, error) {
 			continue
 		}
 		path := filepath.Join(s.graphsDir, name)
-		meta, g, err := decodeSnapshotFile(s.fs, path)
+		meta, g, err := s.loadSnapshot(path)
 		if err != nil {
 			// A snapshot either renamed into place completely or not at all,
 			// so corruption here is real data damage — fail loudly instead of
@@ -257,6 +291,46 @@ func (s *Store) scan() (*Recovery, uint64, uint64, error) {
 		}
 	}
 	return rec, lastLSN, maxEpoch, nil
+}
+
+// loadSnapshot opens one snapshot file, zero-copy when the store is
+// configured for it and the file cooperates, decoding otherwise.  The
+// fallback is deliberately broad: ANY mmap-path failure short of success
+// routes through the decoder, which authoritatively distinguishes "fine,
+// just not mappable" from real corruption (and fails loudly on the latter).
+func (s *Store) loadSnapshot(path string) (SnapshotMeta, *graph.Graph, error) {
+	if s.opts.Mmap && s.opts.FS == nil && MmapSupported() {
+		meta, g, m, err := OpenMmapSnapshot(path)
+		if err == nil {
+			s.mapMu.Lock()
+			s.mappings = append(s.mappings, m)
+			s.mapMu.Unlock()
+			s.recovered.MmapGraphs++
+			s.recovered.MmapBytes += m.Size()
+			return meta, g, nil
+		}
+	}
+	return decodeSnapshotFile(s.fs, path)
+}
+
+// ReleaseMappings unmaps every snapshot mapping the Open scan created.  Any
+// graph recovered zero-copy must not be used afterwards — its CSR arrays
+// live in the mapped region.  Callers sequence it strictly after the last
+// reader is drained (the engine calls it at the very end of Close, after the
+// worker pool has stopped); Close itself does NOT unmap, so the common
+// seal-then-drain shutdown order stays safe by default.
+func (s *Store) ReleaseMappings() error {
+	s.mapMu.Lock()
+	maps := s.mappings
+	s.mappings = nil
+	s.mapMu.Unlock()
+	var first error
+	for _, m := range maps {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // segmentPaths lists the WAL segment files in firstLSN (= lexicographic,
@@ -336,7 +410,12 @@ func (s *Store) SaveSnapshot(meta SnapshotMeta, g *graph.Graph) error {
 		return err
 	}
 	cw := &countingWriter{w: f}
-	err = EncodeSnapshot(cw, meta, g)
+	raw := s.useRawFormat(g)
+	if raw {
+		err = EncodeSnapshotRaw(cw, meta, g)
+	} else {
+		err = EncodeSnapshot(cw, meta, g)
+	}
 	if err == nil && !s.opts.NoSync {
 		err = f.Sync()
 	}
@@ -355,8 +434,25 @@ func (s *Store) SaveSnapshot(meta SnapshotMeta, g *graph.Graph) error {
 		return err
 	}
 	s.snapshotsWritten.Add(1)
+	if raw {
+		s.snapshotsRaw.Add(1)
+	}
 	s.snapshotBytes.Add(uint64(cw.n))
 	return s.syncDir(s.graphsDir)
+}
+
+// useRawFormat decides the snapshot encoding for g: raw-aligned once the CSR
+// arrays are big enough that zero-copy opens beat the varint packing's size
+// advantage (see Options.RawSnapshotMinEntries).
+func (s *Store) useRawFormat(g *graph.Graph) bool {
+	min := s.opts.RawSnapshotMinEntries
+	if min == 0 {
+		min = defaultRawMinEntries
+	}
+	if min < 0 {
+		return false
+	}
+	return g.N()+1+2*g.M() >= min
 }
 
 // DeleteSnapshot removes the snapshot of name (a no-op if absent).
@@ -452,6 +548,9 @@ type Stats struct {
 	// (registrations and checkpoints).
 	SnapshotsWritten uint64 `json:"snapshots_written"`
 	SnapshotBytes    uint64 `json:"snapshot_bytes"`
+	// SnapshotsRaw counts the subset written in the raw-aligned (mmap-able)
+	// variant rather than the varint packing.
+	SnapshotsRaw uint64 `json:"snapshots_raw"`
 	// SnapshotFailures counts snapshot writes that failed (the previous
 	// snapshot, if any, stayed intact under the final name).
 	SnapshotFailures uint64 `json:"snapshot_failures"`
@@ -478,6 +577,7 @@ func (s *Store) Stats() Stats {
 		LastLSN:          lastLSN,
 		SnapshotsWritten: s.snapshotsWritten.Load(),
 		SnapshotBytes:    s.snapshotBytes.Load(),
+		SnapshotsRaw:     s.snapshotsRaw.Load(),
 		SnapshotFailures: s.snapshotFailures.Load(),
 		Checkpoints:      s.checkpoints.Load(),
 		Recovered:        s.recovered,
