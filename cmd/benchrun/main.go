@@ -11,6 +11,9 @@
 //	benchrun -json              # one JSON document (perf-trajectory snapshots)
 //	benchrun -exp E3,E7         # selected experiments only
 //	benchrun -n 4000 -seed 3    # override workload size / seed
+//	benchrun -round-profile dir # write Perfetto round-profile traces of the
+//	                            # distributed runs (E10) into dir
+
 //	benchrun -compare BENCH_baseline.json BENCH_new.json
 //	                            # regression gate: compare two snapshots,
 //	                            # exit 1 if any table drifts > -threshold
@@ -74,6 +77,7 @@ func main() {
 		seed      = flag.Int64("seed", 0, "override the random seed")
 		compare   = flag.String("compare", "", "baseline snapshot: compare the candidate snapshot (positional arg) against it and exit")
 		threshold = flag.Float64("threshold", 0.30, "relative drift that fails -compare")
+		traceDir  = flag.String("round-profile", "", "directory for Perfetto round-profile trace artifacts of the distributed experiment runs")
 	)
 	flag.Parse()
 
@@ -125,6 +129,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.TraceDir = *traceDir
 
 	suite := exp.All()
 	if *tier == tierLarge {

@@ -68,6 +68,11 @@ type server struct {
 //	GET    /metrics              Prometheus text exposition of the registry
 //	GET    /healthz              tri-state readiness probe (ok / degraded /
 //	                             overloaded)
+//	GET    /debug/dist/runs      recent distributed runs (round profiles),
+//	                             newest first
+//	GET    /debug/dist/runs/{id} one run's full round profile by query ID
+//	                             (?format=perfetto for a Chrome trace-event
+//	                             document that opens in ui.perfetto.dev)
 //
 // Every request passes through the observability middleware: it mints a
 // query ID (echoed as X-Query-ID and propagated via the request context, so
@@ -101,6 +106,8 @@ func newServer(eng *engine.Engine, opts serverOptions) http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/dist/runs", s.handleDistRuns)
+	mux.HandleFunc("GET /debug/dist/runs/{id}", s.handleDistRun)
 	s.mux = mux
 	return s.instrument(mux)
 }
@@ -173,12 +180,20 @@ func (s *server) instrument(next http.Handler) http.Handler {
 		s.httpSeconds.With(route).ObserveDuration(elapsed)
 		s.httpRequests.With(route, strconv.Itoa(sw.status)).Inc()
 		if s.slowQuery > 0 && elapsed >= s.slowQuery {
-			slog.Warn("slow request",
+			args := []any{
 				"query_id", qid,
 				"route", route,
 				"status", sw.status,
-				"elapsed_ms", float64(elapsed)/float64(time.Millisecond),
-				"trace", tr.String())
+				"elapsed_ms", float64(elapsed) / float64(time.Millisecond),
+				"trace", tr.String(),
+			}
+			// If the request ran the distributed simulator, point at its
+			// retained round profile so the log line leads straight to the
+			// per-round breakdown (and ?format=perfetto).
+			if _, ok := s.eng.DistRun(qid); ok {
+				args = append(args, "dist_profile", "/debug/dist/runs/"+qid)
+			}
+			slog.Warn("slow request", args...)
 		}
 	})
 }
@@ -694,6 +709,46 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, status, body)
+}
+
+// handleDistRuns lists the recently retained distributed runs, newest first.
+// Each entry is a summary (query ID, request shape, aggregate round/message/
+// word totals); the full round profile lives at /debug/dist/runs/{id}.
+func (s *server) handleDistRuns(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	runs := s.eng.DistRuns()
+	if runs == nil {
+		runs = []engine.DistRunSummary{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": runs})
+}
+
+// handleDistRun serves one retained run's full per-phase round profile.  The
+// {id} is the query ID the run executed under — the X-Query-ID header of the
+// originating request, also echoed by slow-request log lines.  With
+// ?format=perfetto the profile is rendered as a Chrome trace-event document
+// that loads directly in ui.perfetto.dev or chrome://tracing.
+func (s *server) handleDistRun(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	id := r.PathValue("id")
+	rec, ok := s.eng.DistRun(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no retained distributed run %q", id))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, rec)
+	case "perfetto":
+		w.Header().Set("Content-Type", obs.TraceEventsContentType)
+		if err := obs.WriteTraceEvents(w, dist.PerfettoEvents(rec.Profiles)); err != nil {
+			// Headers are out; nothing to do but stop writing.
+			_ = err
+		}
+	default:
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown format %q (want \"json\" or \"perfetto\")", format))
+	}
 }
 
 // statusClientClosedRequest is the nginx-convention status for a client that

@@ -840,3 +840,90 @@ func TestObservabilityHeaders(t *testing.T) {
 		t.Fatalf("query ids not unique: %q", a)
 	}
 }
+
+// TestDistRunDebugEndpoints: a distributed query leaves a retrievable round
+// profile at /debug/dist/runs/{X-Query-ID}, whose per-round sums match the
+// phase statistics, and which renders as a Perfetto trace-event document.
+func TestDistRunDebugEndpoints(t *testing.T) {
+	ts := testServer(t)
+	registerGrid(t, ts, "grid", 64)
+
+	var q queryResponse
+	resp := doJSON(t, "POST", ts.URL+"/query",
+		map[string]any{"graph": "grid", "kind": "dist-domset", "r": 1}, &q)
+	if resp.StatusCode != http.StatusOK || q.Rounds == 0 {
+		t.Fatalf("dist query: status %d rounds %d", resp.StatusCode, q.Rounds)
+	}
+	qid := resp.Header.Get("X-Query-ID")
+	if qid == "" {
+		t.Fatal("dist query response carried no X-Query-ID")
+	}
+
+	// List: exactly the one distributed run, keyed by the query ID, with
+	// summary totals equal to the response's simulator cost.
+	var list struct {
+		Runs []engine.DistRunSummary `json:"runs"`
+	}
+	if resp := doJSON(t, "GET", ts.URL+"/debug/dist/runs", nil, &list); resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: status %d", resp.StatusCode)
+	}
+	if len(list.Runs) != 1 || list.Runs[0].ID != qid {
+		t.Fatalf("runs %+v, want one entry keyed %q", list.Runs, qid)
+	}
+	if list.Runs[0].Rounds != q.Rounds || list.Runs[0].Messages != q.Messages {
+		t.Fatalf("summary %+v diverges from response (rounds=%d messages=%d)",
+			list.Runs[0], q.Rounds, q.Messages)
+	}
+
+	// Detail: per-phase round profiles whose per-round message/word sums
+	// equal each phase's aggregate statistics.
+	var rec engine.DistRunRecord
+	if resp := doJSON(t, "GET", ts.URL+"/debug/dist/runs/"+qid, nil, &rec); resp.StatusCode != http.StatusOK {
+		t.Fatalf("detail: status %d", resp.StatusCode)
+	}
+	if rec.ID != qid || len(rec.Profiles) == 0 {
+		t.Fatalf("record id=%q with %d profiles", rec.ID, len(rec.Profiles))
+	}
+	for _, rp := range rec.Profiles {
+		var m, w int64
+		for _, rd := range rp.Rounds {
+			m += rd.Messages
+			w += rd.Words
+		}
+		if m != rp.Stats.Messages || w != rp.Stats.Words {
+			t.Fatalf("phase %q: per-round sums (m=%d w=%d) diverge from %+v",
+				rp.Phase, m, w, rp.Stats)
+		}
+	}
+
+	// Perfetto rendering: trace-event content type, parseable document with
+	// one event per round plus the per-phase slices and metadata.
+	pr, err := http.Get(ts.URL + "/debug/dist/runs/" + qid + "?format=perfetto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		t.Fatalf("perfetto: status %d", pr.StatusCode)
+	}
+	if ct := pr.Header.Get("Content-Type"); ct != obs.TraceEventsContentType {
+		t.Fatalf("perfetto Content-Type = %q, want %q", ct, obs.TraceEventsContentType)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(pr.Body).Decode(&doc); err != nil {
+		t.Fatalf("perfetto document does not parse: %v", err)
+	}
+	if want := rec.Stats.Rounds + 2*len(rec.Profiles); len(doc.TraceEvents) != want {
+		t.Fatalf("perfetto document has %d events, want %d", len(doc.TraceEvents), want)
+	}
+
+	// Unknown IDs 404; unknown formats 400.
+	if resp := doJSON(t, "GET", ts.URL+"/debug/dist/runs/nope", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+	if resp := doJSON(t, "GET", ts.URL+"/debug/dist/runs/"+qid+"?format=pprof", nil, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format: status %d, want 400", resp.StatusCode)
+	}
+}

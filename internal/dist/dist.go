@@ -88,6 +88,12 @@ type Options struct {
 	// internal/distalgo tags each of its stages; an empty phase is recorded
 	// under the empty label value.
 	Phase string
+	// Probe, when non-nil, records a per-round profile and a per-vertex
+	// congestion table for every run (see probe.go).  A nil Probe costs
+	// nothing; an enabled one never changes the run's observable behavior
+	// or its Stats, and every profile field except wall-clock durations is
+	// independent of Workers.
+	Probe *Probe
 }
 
 // Message is the interface of everything sent between nodes.  Words reports
@@ -133,21 +139,22 @@ type Halter interface {
 	Done() bool
 }
 
-// Stats reports the communication cost of a run.
+// Stats reports the communication cost of a run.  The JSON field names are
+// part of the /debug/dist/runs wire format served by domserved.
 type Stats struct {
 	// Rounds is the number of executed rounds (Init is round 0 and not
 	// counted).
-	Rounds int
+	Rounds int `json:"rounds"`
 	// Messages is the total number of point-to-point deliveries: a broadcast
 	// to d neighbors counts d messages.
-	Messages int64
+	Messages int64 `json:"messages"`
 	// Words is the total number of delivered words (message sizes summed
 	// over deliveries).
-	Words int64
+	Words int64 `json:"words"`
 	// MaxMessageWords is the size of the largest delivered message, in
 	// words.  (A message broadcast by an isolated vertex crosses no edge
 	// and congests nothing, so it is not accounted here.)
-	MaxMessageWords int
+	MaxMessageWords int `json:"max_message_words"`
 }
 
 // Errors returned by Runner.Run.  Violations are detected at send time and

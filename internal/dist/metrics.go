@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"time"
 
 	"bedom/internal/obs"
@@ -15,10 +16,20 @@ import (
 // are exactly the quantities the paper's CONGEST accounting (and the E10
 // successor comparison) measures.
 var (
+	// distRuns carries an explicit outcome label ("ok" / "error") so an
+	// aborted run (ErrMaxRounds, a model violation, ...) never blends into
+	// the success series: rate(bedom_dist_runs_total{outcome="error"}) is
+	// the abort rate, no cross-metric subtraction needed.  The cost series
+	// below (rounds/messages/words/seconds) intentionally keep their
+	// {model,phase} shape — an aborted run's rounds still happened and its
+	// words still crossed edges, and the CI scrape assertions pin that
+	// shape.
 	distRuns = obs.Default().CounterVec("bedom_dist_runs_total",
-		"Completed simulator runs, by model and pipeline phase.", "model", "phase")
+		"Simulator runs, by model, pipeline phase and outcome (ok or error).",
+		"model", "phase", "outcome")
 	distErrors = obs.Default().CounterVec("bedom_dist_errors_total",
-		"Simulator runs that ended in an error (model violation, round overrun).", "model", "phase")
+		"Simulator runs that ended in an error, by failure reason.",
+		"model", "phase", "reason")
 	distRounds = obs.Default().CounterVec("bedom_dist_rounds_total",
 		"Synchronous rounds executed, by model and pipeline phase.", "model", "phase")
 	distMessages = obs.Default().CounterVec("bedom_dist_messages_total",
@@ -35,7 +46,11 @@ var (
 // recordRun accounts one finished simulator run.
 func recordRun(model Model, phase string, st Stats, d time.Duration, err error) {
 	m := model.String()
-	distRuns.With(m, phase).Inc()
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	distRuns.With(m, phase, outcome).Inc()
 	distRounds.With(m, phase).Add(uint64(st.Rounds))
 	distMessages.With(m, phase).Add(uint64(st.Messages))
 	distWords.With(m, phase).Add(uint64(st.Words))
@@ -44,6 +59,28 @@ func recordRun(model Model, phase string, st Stats, d time.Duration, err error) 
 		distMaxWords.With(m, phase).Observe(float64(st.MaxMessageWords))
 	}
 	if err != nil {
-		distErrors.With(m, phase).Inc()
+		distErrors.With(m, phase, errorReason(err)).Inc()
+	}
+}
+
+// errorReason buckets a run error into a bounded label vocabulary (labels
+// must not carry free-form error text — every distinct value is a new
+// series).
+func errorReason(err error) string {
+	switch {
+	case errors.Is(err, ErrMaxRounds):
+		return "max_rounds"
+	case errors.Is(err, ErrMessageTooLarge):
+		return "message_too_large"
+	case errors.Is(err, ErrModelViolation):
+		return "model_violation"
+	case errors.Is(err, ErrBadSendTarget):
+		return "bad_send_target"
+	case errors.Is(err, ErrBadModel):
+		return "bad_model"
+	case errors.Is(err, ErrRunnerReused):
+		return "runner_reused"
+	default:
+		return "other"
 	}
 }

@@ -14,9 +14,15 @@ type roundAccum struct {
 	messages int64
 	words    int64
 	maxWords int
-	anySent  bool
-	allDone  bool
-	errSeen  bool
+	// active counts vertices that staged at least one message this step;
+	// halted counts vertices reporting Done (nodes without a Halter always
+	// count).  Both feed the round profiles of probe.go and are plain sums,
+	// so they stay order-independent like everything else here.
+	active  int
+	halted  int
+	anySent bool
+	allDone bool
+	errSeen bool
 }
 
 func (a *roundAccum) deliver(words int) {
@@ -33,6 +39,8 @@ func (a *roundAccum) merge(b *roundAccum) {
 	if b.maxWords > a.maxWords {
 		a.maxWords = b.maxWords
 	}
+	a.active += b.active
+	a.halted += b.halted
 	a.anySent = a.anySent || b.anySent
 	a.allDone = a.allDone && b.allDone
 	a.errSeen = a.errSeen || b.errSeen

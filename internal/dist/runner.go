@@ -27,6 +27,12 @@ type Runner struct {
 	ctxs    []Context
 	inboxes [][]Inbound
 
+	// Telemetry state, only allocated when opts.Probe is set (the disabled
+	// path must cost nothing — see probe.go for the contract).
+	rounds    []RoundProfile
+	sentWords []int64
+	recvWords []int64
+
 	round int
 	used  bool
 }
@@ -76,7 +82,23 @@ func (r *Runner) Run(factory func(v int) Node) (Stats, error) {
 	}
 	start := time.Now()
 	st, err := r.run(factory)
-	recordRun(r.model, r.opts.Phase, st, time.Since(start), err)
+	elapsed := time.Since(start)
+	recordRun(r.model, r.opts.Phase, st, elapsed, err)
+	if p := r.opts.Probe; p != nil {
+		rp := RunProfile{
+			Model:      r.model.String(),
+			Phase:      r.opts.Phase,
+			N:          r.g.N(),
+			Stats:      st,
+			DurationNS: elapsed.Nanoseconds(),
+			Rounds:     r.rounds,
+			Congestion: congestionTable(r.sentWords, r.recvWords, p.topK()),
+		}
+		if err != nil {
+			rp.Err = err.Error()
+		}
+		p.add(rp)
+	}
 	return st, err
 }
 
@@ -110,6 +132,11 @@ func (r *Runner) run(factory func(v int) Node) (Stats, error) {
 		c.v = v
 		c.out = &c.boxes[0]
 	}
+	probe := r.opts.Probe
+	if probe != nil {
+		r.sentWords = make([]int64, n)
+		r.recvWords = make([]int64, n)
+	}
 
 	// Round 0: Init every node (messages land in outbox slot 0).
 	r.round = 0
@@ -117,6 +144,7 @@ func (r *Runner) run(factory func(v int) Node) (Stats, error) {
 		c := &r.ctxs[v]
 		r.nodes[v].Init(c)
 		c.finishStep()
+		r.accountSends(v)
 		if c.err != nil {
 			acc.errSeen = true
 		}
@@ -126,12 +154,16 @@ func (r *Runner) run(factory func(v int) Node) (Stats, error) {
 	}
 
 	var stats Stats
+	var roundStart time.Time
 	for t := 1; ; t++ {
 		if t > r.maxRounds {
 			return stats, fmt.Errorf("%w: no quiescence after %d rounds in %v (MaxRounds)",
 				ErrMaxRounds, r.maxRounds, r.model)
 		}
 		r.round = t
+		if probe != nil {
+			roundStart = time.Now()
+		}
 		prevSlot, curSlot := (t-1)%2, t%2
 		total := r.forEachNode(func(acc *roundAccum, v int) {
 			r.step(acc, v, prevSlot, curSlot)
@@ -141,6 +173,23 @@ func (r *Runner) run(factory func(v int) Node) (Stats, error) {
 		stats.Words += total.words
 		if total.maxWords > stats.MaxMessageWords {
 			stats.MaxMessageWords = total.maxWords
+		}
+		if probe != nil {
+			// Recorded before the error check: an aborting round's
+			// deliveries are in stats, so they belong in the profile too.
+			rp := RoundProfile{
+				Round:           t,
+				Messages:        total.messages,
+				Words:           total.words,
+				MaxMessageWords: total.maxWords,
+				ActiveNodes:     total.active,
+				HaltedNodes:     total.halted,
+				DurationNS:      time.Since(roundStart).Nanoseconds(),
+			}
+			r.rounds = append(r.rounds, rp)
+			if probe.Observer != nil {
+				probe.Observer.ObserveRound(rp)
+			}
 		}
 		if total.errSeen {
 			return stats, r.firstError()
@@ -156,6 +205,7 @@ func (r *Runner) run(factory func(v int) Node) (Stats, error) {
 // Each vertex only reads prev-slot outboxes and writes its own cur-slot
 // outbox, so steps of distinct vertices never conflict.
 func (r *Runner) step(acc *roundAccum, v int, prevSlot, curSlot int) {
+	wordsBefore := acc.words
 	inbox := r.inboxes[v][:0]
 	for _, u := range r.neighbors[v] {
 		ob := &r.ctxs[u].boxes[prevSlot]
@@ -169,22 +219,55 @@ func (r *Runner) step(acc *roundAccum, v int, prevSlot, curSlot int) {
 		}
 	}
 	r.inboxes[v] = inbox
+	if r.recvWords != nil {
+		// Each vertex is stepped by exactly one worker per round, so its
+		// slot is race-free; diffing the accumulator keeps the disabled
+		// path free of per-delivery probe work.
+		r.recvWords[v] += acc.words - wordsBefore
+	}
 
 	c := &r.ctxs[v]
 	c.out = &c.boxes[curSlot]
 	c.out.reset()
 	r.nodes[v].Round(c, inbox)
 	c.finishStep()
+	r.accountSends(v)
 
 	if !c.out.empty() {
 		acc.anySent = true
+		acc.active++
 	}
-	if h := r.halters[v]; h != nil && !h.Done() {
+	if h := r.halters[v]; h == nil || h.Done() {
+		acc.halted++
+	} else {
 		acc.allDone = false
 	}
 	if c.err != nil {
 		acc.errSeen = true
 	}
+}
+
+// accountSends attributes the words a vertex staged this step to its
+// congestion-table slot, as delivered words: a broadcast of w words by a
+// vertex of degree d will cross d edges.  No-op when the probe is disabled.
+// On a run that aborts before the next round these sends are attributed but
+// never delivered; a successful run's last round stages nothing, so there
+// send and receive totals agree.
+func (r *Runner) accountSends(v int) {
+	if r.sentWords == nil {
+		return
+	}
+	ob := r.ctxs[v].out
+	var w int64
+	if d := int64(len(r.neighbors[v])); d > 0 {
+		for _, bm := range ob.bcasts {
+			w += int64(bm.words) * d
+		}
+	}
+	for _, e := range ob.directs {
+		w += int64(e.words)
+	}
+	r.sentWords[v] += w
 }
 
 // firstError returns the violation of the smallest vertex id, keeping error

@@ -143,6 +143,10 @@ type Config struct {
 	// ones (0 = store default, ~1M entries; negative = always varint).
 	// Ignored by New.  See store.Options.RawSnapshotMinEntries.
 	RawSnapshotMinEntries int
+	// DistRunLog is the ring capacity of retained distributed-run round
+	// profiles (served by domserved at /debug/dist/runs).  0 = 64; negative
+	// disables retention, which also disables per-query probing entirely.
+	DistRunLog int
 }
 
 func (c Config) normalised() Config {
@@ -165,6 +169,11 @@ func (c Config) normalised() Config {
 		c.PersistRetries = 3
 	} else if c.PersistRetries < 0 {
 		c.PersistRetries = 0
+	}
+	if c.DistRunLog == 0 {
+		c.DistRunLog = 64
+	} else if c.DistRunLog < 0 {
+		c.DistRunLog = 0
 	}
 	return c
 }
@@ -256,6 +265,10 @@ type Engine struct {
 	// parent's slot, marked by admittedCtx.
 	rebuildSem chan struct{}
 
+	// distRuns retains recent distributed-run round profiles (nil when
+	// Config.DistRunLog is negative).
+	distRuns *distRunLog
+
 	mu      sync.Mutex
 	graphs  map[string]*graphEntry
 	anon    map[weak.Pointer[graph.Graph]]anonHandle
@@ -339,6 +352,7 @@ func New(cfg Config) *Engine {
 		rebuildSem: make(chan struct{}, cfg.MaxConcurrentRebuilds),
 		graphs:     make(map[string]*graphEntry),
 		anon:       make(map[weak.Pointer[graph.Graph]]anonHandle),
+		distRuns:   newDistRunLog(cfg.DistRunLog),
 	}
 	e.substrateWorkers.Store(int32(cfg.SubstrateWorkers))
 	// Scrape-time gauges.  The closures keep the engine reachable for the

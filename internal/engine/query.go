@@ -357,7 +357,11 @@ func (e *Engine) run(ctx context.Context, req Request, g *graph.Graph, gen uint6
 		if !ok {
 			return nil, fmt.Errorf("%w: solver %q has no distributed engine", ErrInvalidRequest, s.Name())
 		}
-		res, err := ds.SolveDist(g, req.R, req.distOptions())
+		dopts := req.distOptions()
+		probe := e.newDistProbe()
+		dopts.Sim.Probe = probe
+		res, err := ds.SolveDist(g, req.R, dopts)
+		e.recordDistRun(ctx, req, s.Name(), probe, err)
 		if err != nil {
 			return nil, err
 		}
@@ -374,7 +378,11 @@ func (e *Engine) run(ctx context.Context, req Request, g *graph.Graph, gen uint6
 		if req.ModelSet {
 			model = req.Model
 		}
-		res, err := distalgo.RunConnectedDomSet(g, req.R, model, req.simOptions())
+		sopts := req.simOptions()
+		probe := e.newDistProbe()
+		sopts.Probe = probe
+		res, err := distalgo.RunConnectedDomSet(g, req.R, model, sopts)
+		e.recordDistRun(ctx, req, "", probe, err)
 		if err != nil {
 			return nil, err
 		}

@@ -117,6 +117,11 @@ type Config struct {
 	// LargeN is the target size of the large-tier scale experiments (L1,
 	// run by `benchrun -tier large`); the E1–E10 suite ignores it.
 	LargeN int
+	// TraceDir, when non-empty, makes the distributed experiments write one
+	// Perfetto trace-event document per simulator run into the directory
+	// (`benchrun -round-profile <dir>`).  It never affects table cells, so
+	// snapshots taken with and without it stay perf-gate comparable.
+	TraceDir string `json:"trace_dir,omitempty"`
 }
 
 // DefaultConfig returns the configuration used to produce EXPERIMENTS.md

@@ -3,9 +3,13 @@ package exp
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
+	"bedom/internal/dist"
 	"bedom/internal/domset"
+	"bedom/internal/obs"
 	"bedom/internal/solver"
 )
 
@@ -23,7 +27,7 @@ func E10SolverHeadToHead(cfg Config) *Table {
 			"model", "rounds", "messages", "max msg words"},
 	}
 	ctx := context.Background()
-	var timings []string
+	var timings, phases []string
 	for _, f := range qualityFamilies(cfg) {
 		for _, r := range cfg.Radii {
 			g := instance(f, cfg.N/2, cfg.Seed+9)
@@ -56,12 +60,24 @@ func E10SolverHeadToHead(cfg Config) *Table {
 				valid := domset.Check(g, res.Set, r)
 				model, rounds, messages, maxWords := "-", "-", "-", "-"
 				if ds, ok := s.(solver.DistSolver); ok {
-					dres, derr := ds.SolveDist(g, r, solver.DistOptions{})
+					// Every distributed run carries a round probe: the
+					// per-phase breakdown lands in the notes (perf-gate
+					// exempt) and, with Config.TraceDir set, as a Perfetto
+					// trace artifact per run.
+					probe := &dist.Probe{}
+					dres, derr := ds.SolveDist(g, r, solver.DistOptions{Sim: dist.Options{Probe: probe}})
 					if derr == nil {
 						model = distModelName(name)
 						rounds = fmt.Sprintf("%d", dres.Rounds)
 						messages = fmt.Sprintf("%d", dres.Messages)
 						maxWords = fmt.Sprintf("%d", dres.MaxMessageWords)
+						phases = append(phases, phaseBreakdown(f.Name, r, name, probe.Profiles()))
+						if cfg.TraceDir != "" {
+							file := fmt.Sprintf("E10_%s_r%d_%s.trace.json", f.Name, r, name)
+							if err := writeTraceArtifact(cfg.TraceDir, file, probe.Profiles()); err != nil {
+								t.Notes = append(t.Notes, "trace artifact error: "+err.Error())
+							}
+						}
 					}
 				}
 				t.AddRow(f.Name, r, g.N(), name, len(res.Set), lb, ratio(len(res.Set), lb), valid,
@@ -74,8 +90,39 @@ func E10SolverHeadToHead(cfg Config) *Table {
 	t.Notes = append(t.Notes,
 		"LB is one scattered-set lower bound per (family, r) instance, seeded from the paper strategy's set, so ratios are comparable across strategies.",
 		"rounds/messages come from the simulator runs of the distributed strategies (paper: CONGEST_BC pipeline, kubsv: exactly 7r broadcast-only LOCAL rounds).",
+		"per-phase rounds/messages/words (excluded from the perf-gate diff): "+joinLimited(phases, 12),
 		"sequential wall-clock (excluded from the perf-gate diff): "+joinLimited(timings, 18))
 	return t
+}
+
+// phaseBreakdown renders one distributed run's per-phase cost for the notes,
+// e.g. "grid r=1 paper: hpartition 4r/320m/960w; wreach 6r/…".
+func phaseBreakdown(family string, r int, solverName string, profiles []dist.RunProfile) string {
+	s := fmt.Sprintf("%s r=%d %s:", family, r, solverName)
+	for i, rp := range profiles {
+		if i > 0 {
+			s += ";"
+		}
+		s += fmt.Sprintf(" %s %dr/%dm/%dw", rp.Phase, rp.Stats.Rounds, rp.Stats.Messages, rp.Stats.Words)
+	}
+	return s
+}
+
+// writeTraceArtifact writes one run's round profiles as a Chrome trace-event
+// document (openable in ui.perfetto.dev) under dir.
+func writeTraceArtifact(dir, name string, profiles []dist.RunProfile) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTraceEvents(f, dist.PerfettoEvents(profiles)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // distModelName names the default simulator model of a distributed strategy.

@@ -19,6 +19,15 @@ const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
 // lines (le-labelled, ending in +Inf), `_sum` and `_count`, per the format.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
+	hooks := r.hooks
+	r.mu.RUnlock()
+	// Hooks run before the family snapshot (and outside the registry lock —
+	// a hook may lazily register series) so scrape-sampled metrics are fresh
+	// in the same exposition.
+	for _, fn := range hooks {
+		fn()
+	}
+	r.mu.RLock()
 	fams := make([]*family, 0, len(r.fams))
 	for _, f := range r.fams {
 		fams = append(fams, f)

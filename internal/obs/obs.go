@@ -37,11 +37,20 @@ var DefBuckets = []float64{
 // SizeBuckets are exponential buckets for word/byte-count histograms.
 var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096}
 
-var defaultRegistry = NewRegistry()
+var (
+	defaultRegistry    = NewRegistry()
+	defaultRuntimeOnce sync.Once
+)
 
 // Default returns the process-wide registry (what cmd/domserved exposes on
-// GET /metrics and what internal/dist records simulator runs into).
-func Default() *Registry { return defaultRegistry }
+// GET /metrics and what internal/dist records simulator runs into).  The Go
+// runtime metrics (goroutines, heap, GC pauses — see runtime.go) are
+// registered on it on first use, so every /metrics scrape of the default
+// registry covers process health.
+func Default() *Registry {
+	defaultRuntimeOnce.Do(func() { RegisterRuntimeMetrics(defaultRegistry) })
+	return defaultRegistry
+}
 
 // metricType discriminates the exposition families.
 type metricType uint8
@@ -71,8 +80,20 @@ func (t metricType) String() string {
 // with a different type or label set panics (metric registration is an
 // init-path programmer error, like solver.Register).
 type Registry struct {
-	mu   sync.RWMutex
-	fams map[string]*family
+	mu    sync.RWMutex
+	fams  map[string]*family
+	hooks []func()
+}
+
+// OnScrape registers fn to run at the start of every WritePrometheus call,
+// before the families are snapshotted.  It is the bridge for sampled
+// metrics that cannot be modeled as a GaugeFunc — e.g. feeding the GC pause
+// histogram from runtime.MemStats exactly once per scrape.  Hooks run
+// sequentially in registration order and must not block.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
 }
 
 // NewRegistry returns an empty registry.

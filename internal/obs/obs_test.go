@@ -26,12 +26,25 @@ func TestWritePrometheusGolden(t *testing.T) {
 	esc := r.CounterVec("bedom_weird_total", `Help with backslash \ and
 newline.`, "name")
 	esc.With("a\\b\"c\nd").Inc()
+	esc.With("\\").Inc()
+	esc.With("end\"").Add(2)
 	h := r.Histogram("bedom_latency_seconds", "Latency.", []float64{0.001, 0.01, 0.1})
 	h.Observe(0.0005)
 	h.Observe(0.005)
 	h.Observe(0.005)
 	h.Observe(0.05)
 	h.Observe(5)
+	// An instantiated histogram with zero observations still exposes its
+	// full bucket ladder (all-zero), sum and count.
+	r.Histogram("bedom_empty_seconds", "Never observed.", []float64{0.1, 1})
+	// An explicit +Inf in the bucket list folds into the implicit overflow
+	// bucket: exactly one le="+Inf" line.
+	ov := r.Histogram("bedom_overflow_seconds", "Explicit +Inf bucket.", []float64{1, math.Inf(1)})
+	ov.Observe(0.5)
+	ov.Observe(100)
+	// Vec families with no series yet expose nothing at all.
+	r.CounterVec("bedom_unused_total", "No series.", "kind")
+	r.HistogramVec("bedom_unused_seconds", "No series.", nil, "stage")
 
 	var b strings.Builder
 	if err := r.WritePrometheus(&b); err != nil {
@@ -40,6 +53,13 @@ newline.`, "name")
 	want := `# HELP bedom_cache_entries Live cache entries.
 # TYPE bedom_cache_entries gauge
 bedom_cache_entries 3
+# HELP bedom_empty_seconds Never observed.
+# TYPE bedom_empty_seconds histogram
+bedom_empty_seconds_bucket{le="0.1"} 0
+bedom_empty_seconds_bucket{le="1"} 0
+bedom_empty_seconds_bucket{le="+Inf"} 0
+bedom_empty_seconds_sum 0
+bedom_empty_seconds_count 0
 # HELP bedom_graphs Registered graphs.
 # TYPE bedom_graphs gauge
 bedom_graphs 7
@@ -51,6 +71,12 @@ bedom_latency_seconds_bucket{le="0.1"} 4
 bedom_latency_seconds_bucket{le="+Inf"} 5
 bedom_latency_seconds_sum 5.0605
 bedom_latency_seconds_count 5
+# HELP bedom_overflow_seconds Explicit +Inf bucket.
+# TYPE bedom_overflow_seconds histogram
+bedom_overflow_seconds_bucket{le="1"} 1
+bedom_overflow_seconds_bucket{le="+Inf"} 2
+bedom_overflow_seconds_sum 100.5
+bedom_overflow_seconds_count 2
 # HELP bedom_queries_total Queries by kind and solver.
 # TYPE bedom_queries_total counter
 bedom_queries_total{kind="cover",solver=""} 1
@@ -61,7 +87,9 @@ bedom_queries_total{kind="domset",solver="paper"} 5
 bedom_simple_total 42
 # HELP bedom_weird_total Help with backslash \\ and\nnewline.
 # TYPE bedom_weird_total counter
+bedom_weird_total{name="\\"} 1
 bedom_weird_total{name="a\\b\"c\nd"} 1
+bedom_weird_total{name="end\""} 2
 `
 	if got := b.String(); got != want {
 		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Go runtime metrics (satellite of DESIGN.md §14): process-health gauges and
+// a GC pause histogram, sampled once per scrape.  runtime.ReadMemStats
+// stops the world briefly, so a scrape hook samples it exactly once and the
+// GaugeFuncs read the cached sample — three heap gauges cost one
+// ReadMemStats, not three.
+
+// GCPauseBuckets bracket Go GC pauses: tens of microseconds typical, a few
+// milliseconds pathological.
+var GCPauseBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2, 0.1,
+}
+
+// RegisterRuntimeMetrics registers the Go runtime metrics on r:
+//
+//	bedom_go_goroutines            current goroutine count
+//	bedom_go_heap_alloc_bytes      live heap bytes (MemStats.HeapAlloc)
+//	bedom_go_heap_sys_bytes        heap bytes obtained from the OS
+//	bedom_go_gc_cycles_total       completed GC cycles (as a gauge sample)
+//	bedom_go_gc_pause_seconds      histogram of individual GC pause times
+//
+// Default() calls it for the process-wide registry; custom registries (one
+// per engine in tests) opt in explicitly.  Registering twice on the same
+// registry is safe for the gauges (last callback wins) but would double the
+// scrape hook, so callers should register once — Default() guards this with
+// a sync.Once.
+func RegisterRuntimeMetrics(r *Registry) {
+	s := &runtimeSampler{
+		pauses: r.Histogram("bedom_go_gc_pause_seconds",
+			"Individual garbage-collection stop-the-world pause times.", GCPauseBuckets),
+	}
+	r.OnScrape(s.sample)
+	r.GaugeFunc("bedom_go_goroutines",
+		"Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("bedom_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 { return float64(s.snapshot().HeapAlloc) })
+	r.GaugeFunc("bedom_go_heap_sys_bytes",
+		"Heap bytes obtained from the OS (runtime.MemStats.HeapSys).",
+		func() float64 { return float64(s.snapshot().HeapSys) })
+	r.GaugeFunc("bedom_go_gc_cycles_total",
+		"Completed GC cycles (runtime.MemStats.NumGC).",
+		func() float64 { return float64(s.snapshot().NumGC) })
+}
+
+// runtimeSampler caches one MemStats sample per scrape and feeds the pause
+// histogram incrementally from the PauseNs ring.
+type runtimeSampler struct {
+	pauses *Histogram
+
+	mu        sync.Mutex
+	ms        runtime.MemStats
+	lastNumGC uint32
+}
+
+// sample refreshes the cached MemStats and feeds the GC pauses that
+// completed since the previous scrape into the histogram.  PauseNs is a
+// ring of the last 256 pauses; if more than 256 cycles ran between scrapes
+// the overwritten ones are lost (their count still shows in NumGC).
+func (s *runtimeSampler) sample() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	runtime.ReadMemStats(&s.ms)
+	n := s.ms.NumGC
+	if missed := n - s.lastNumGC; missed > uint32(len(s.ms.PauseNs)) {
+		s.lastNumGC = n - uint32(len(s.ms.PauseNs))
+	}
+	// Cycle c (1-based, c ≤ NumGC) left its pause at PauseNs[(c+255)%256];
+	// the loop index runs over the unseen cycles lastNumGC+1 .. n, so with
+	// c = i+1 the ring index reduces to i%256.
+	for i := s.lastNumGC; i < n; i++ {
+		s.pauses.Observe(float64(s.ms.PauseNs[i%256]) / 1e9)
+	}
+	s.lastNumGC = n
+}
+
+// snapshot returns the most recent MemStats sample (taking one if none has
+// been taken yet, so a GaugeFunc read outside a scrape still sees data).
+func (s *runtimeSampler) snapshot() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ms.HeapSys == 0 {
+		runtime.ReadMemStats(&s.ms)
+		s.lastNumGC = s.ms.NumGC
+	}
+	return s.ms
+}
